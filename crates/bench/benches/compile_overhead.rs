@@ -1,0 +1,43 @@
+//! Compile-time overhead of the three instrumentation flows (the paper
+//! notes compilation happens once per campaign and excludes it from the
+//! Figure 5 runtime comparison; this bench quantifies that one-off cost).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use refine_core::FiOptions;
+use refine_ir::passes::OptLevel;
+
+fn bench_compile(c: &mut Criterion) {
+    let mut g = c.benchmark_group("compile_overhead");
+    g.sample_size(10);
+    for app in ["HPCCG-1.0", "BT"] {
+        let module = refine_benchmarks::by_name(app).unwrap().module();
+        g.bench_with_input(BenchmarkId::new("clean", app), &module, |b, m| {
+            b.iter(|| refine_core::compile_with_fi(m, OptLevel::O2, &FiOptions::default()))
+        });
+        g.bench_with_input(BenchmarkId::new("refine_pass", app), &module, |b, m| {
+            b.iter(|| refine_core::compile_with_fi(m, OptLevel::O2, &FiOptions::all()))
+        });
+        g.bench_with_input(BenchmarkId::new("llfi_pass", app), &module, |b, m| {
+            b.iter(|| {
+                refine_llfi::compile_with_llfi(m, OptLevel::O2, &refine_llfi::LlfiOptions::default())
+            })
+        });
+    }
+    g.finish();
+
+    // Binary-size consequence of instrumentation, printed once.
+    let m = refine_benchmarks::by_name("HPCCG-1.0").unwrap().module();
+    let clean = refine_core::compile_with_fi(&m, OptLevel::O2, &FiOptions::default());
+    let refined = refine_core::compile_with_fi(&m, OptLevel::O2, &FiOptions::all());
+    let (llfid, _) =
+        refine_llfi::compile_with_llfi(&m, OptLevel::O2, &refine_llfi::LlfiOptions::default());
+    println!(
+        "[compile] HPCCG static instructions: clean={}, REFINE={}, LLFI={}",
+        clean.binary.text.len(),
+        refined.binary.text.len(),
+        llfid.binary.text.len()
+    );
+}
+
+criterion_group!(benches, bench_compile);
+criterion_main!(benches);

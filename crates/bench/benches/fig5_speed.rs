@@ -1,0 +1,46 @@
+//! Figure 5 harness: per-tool fault-injection trial latency.
+//!
+//! Criterion measures real wall-clock per single trial for each tool on
+//! each of several apps; the printed summary shows the simulated-cycle
+//! normalization (the paper's metric), where LLFI is the clear loser and
+//! REFINE tracks PINFI.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use refine_campaign::tools::{PreparedTool, Tool};
+
+fn bench_fig5(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5_trial_latency");
+    g.sample_size(20);
+    for app in ["HPCCG-1.0", "XSBench", "EP"] {
+        let module = refine_benchmarks::by_name(app).unwrap().module();
+        let mut cycles = Vec::new();
+        for tool in Tool::all() {
+            let prepared = PreparedTool::prepare(&module, tool);
+            let mid = prepared.population / 2;
+            // Record simulated cycles of a representative mid-run trial.
+            let r = prepared.run_trial(mid, 7);
+            cycles.push((tool.name(), r.cycles));
+            g.bench_with_input(
+                BenchmarkId::new(app, tool.name()),
+                &prepared,
+                |b, prep| {
+                    let mut k = 0u64;
+                    b.iter(|| {
+                        k += 1;
+                        prep.run_trial(mid, k)
+                    })
+                },
+            );
+        }
+        let pinfi = cycles[2].1 as f64;
+        println!(
+            "[fig5] {app:10} sim-cycles/trial: LLFI {:.2}x, REFINE {:.2}x of PINFI",
+            cycles[0].1 as f64 / pinfi,
+            cycles[1].1 as f64 / pinfi
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Table 6 harness: the per-trial hot path (run + classify) that the
+//! 44,856-experiment sweep is made of, per tool.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use refine_campaign::tools::{PreparedTool, Tool};
+use refine_campaign::{classify, format_events};
+use refine_machine::OutEvent;
+
+fn bench_trial_and_classify(c: &mut Criterion) {
+    let module = refine_benchmarks::by_name("DC").unwrap().module();
+    let mut g = c.benchmark_group("table6_trial_hot_path");
+    g.sample_size(20);
+    for tool in Tool::all() {
+        let prepared = PreparedTool::prepare(&module, tool);
+        g.bench_with_input(BenchmarkId::new("DC", tool.name()), &prepared, |b, prep| {
+            let mut k = 0u64;
+            b.iter(|| {
+                k += 1;
+                let target = 1 + (k * 7919) % prep.population;
+                let r = prep.run_trial(target, k);
+                classify(&prep.golden, &r)
+            })
+        });
+    }
+    g.finish();
+
+    // Classification/formatting microbenches.
+    let events: Vec<OutEvent> = (0..32)
+        .map(|i| {
+            if i % 3 == 0 {
+                OutEvent::I64(i as i64 * 1001)
+            } else {
+                OutEvent::F64(i as f64 * 0.37)
+            }
+        })
+        .collect();
+    c.bench_function("table6/format_events_32", |b| {
+        b.iter(|| format_events(std::hint::black_box(&events)))
+    });
+}
+
+criterion_group!(benches, bench_trial_and_classify);
+criterion_main!(benches);

@@ -1,0 +1,1 @@
+//! Criterion benches for the REFINE reproduction (see benches/).

@@ -1,0 +1,23 @@
+//! Prints per-benchmark dynamic machine-instruction and cycle counts for
+//! the clean (uninstrumented) binaries — a sizing sanity check.
+use refine_core::FiOptions;
+use refine_ir::passes::OptLevel;
+use refine_machine::{Machine, NoFi, RunConfig, RunOutcome};
+
+fn main() {
+    for b in refine_benchmarks::all() {
+        let m = b.module();
+        let c = refine_core::compile_with_fi(&m, OptLevel::O2, &FiOptions::default());
+        let r = Machine::run(&c.binary, &RunConfig::default(), &mut NoFi, None);
+        let ok = matches!(r.outcome, RunOutcome::Exit(0));
+        println!(
+            "{:10} exit_ok={} static={:6} dynamic={:8} cycles={:9}",
+            b.name,
+            ok,
+            c.binary.text.len(),
+            r.instrs_retired,
+            r.cycles
+        );
+        assert!(ok, "{} failed: {:?}", b.name, r.outcome);
+    }
+}

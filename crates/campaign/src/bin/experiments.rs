@@ -1,0 +1,132 @@
+//! `refine-experiments` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! refine-experiments [fig4|table4|table5|table6|fig5|samples|all]
+//!                    [--trials N] [--seed S] [--threads T] [--apps A,B,...]
+//! ```
+//!
+//! With no subcommand, `all` runs the full sweep (14 apps x 3 tools x
+//! `--trials` runs; the paper's configuration is `--trials 1068`, the
+//! default) and prints every artifact.
+
+use refine_campaign::campaign::CampaignConfig;
+use refine_campaign::experiments::{self, run_suite, SuiteResults};
+use refine_campaign::tools::{PreparedTool, Tool};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: refine-experiments [fig4|table4|table5|table6|fig5|samples|ablation|all] \
+         [--trials N] [--seed S] [--threads T] [--apps A,B,...]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cmd = "all".to_string();
+    let mut cfg = CampaignConfig::default();
+    let mut apps: Option<Vec<String>> = None;
+
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "fig4" | "table4" | "table5" | "table6" | "fig5" | "samples" | "ablation" | "all" => {
+                cmd = args[i].clone();
+            }
+            "--trials" => {
+                i += 1;
+                cfg.trials = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+            }
+            "--seed" => {
+                i += 1;
+                cfg.seed = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+            }
+            "--threads" => {
+                i += 1;
+                cfg.threads = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+            }
+            "--apps" => {
+                i += 1;
+                let names: Vec<String> = args
+                    .get(i)
+                    .unwrap_or_else(|| usage())
+                    .split(',')
+                    .map(|s| s.trim().to_string())
+                    .collect();
+                for n in &names {
+                    if refine_benchmarks::by_name(n).is_none() {
+                        eprintln!(
+                            "refine-experiments: unknown benchmark `{n}` (valid: {})",
+                            refine_benchmarks::all()
+                                .iter()
+                                .map(|b| b.name)
+                                .collect::<Vec<_>>()
+                                .join(", ")
+                        );
+                        std::process::exit(2);
+                    }
+                }
+                apps = Some(names);
+            }
+            _ => usage(),
+        }
+        i += 1;
+    }
+
+    if cmd == "ablation" {
+        let apps = apps.unwrap_or_else(|| {
+            vec!["HPCCG-1.0".into(), "CoMD".into(), "XSBench".into()]
+        });
+        print!("{}", experiments::class_ablation(&apps, &cfg));
+        return;
+    }
+
+    if cmd == "samples" {
+        // Profiling only: report populations and the required sample counts.
+        let mut pops = Vec::new();
+        for b in refine_benchmarks::all() {
+            if let Some(sel) = &apps {
+                if !sel.iter().any(|n| n == b.name) {
+                    continue;
+                }
+            }
+            let p = PreparedTool::prepare(&b.module(), Tool::Pinfi);
+            pops.push((b.name.to_string(), p.population));
+        }
+        print!("{}", experiments::samples_table(&pops));
+        return;
+    }
+
+    eprintln!(
+        "running campaigns: trials={} seed={} threads={}",
+        cfg.trials,
+        cfg.seed,
+        if cfg.threads == 0 { "auto".to_string() } else { cfg.threads.to_string() }
+    );
+    let t0 = std::time::Instant::now();
+    let suite: SuiteResults = run_suite(&cfg, apps.as_deref(), |app, tool| {
+        eprintln!("  [{:>6.1}s] {app} / {}", t0.elapsed().as_secs_f64(), tool.name());
+    });
+    eprintln!("sweep done in {:.1}s\n", t0.elapsed().as_secs_f64());
+
+    match cmd.as_str() {
+        "fig4" => {
+            print!("{}", experiments::fig4(&suite));
+            println!();
+            print!("{}", experiments::fig4_pmf(&suite));
+        }
+        "table4" => print!("{}", experiments::table4(&suite)),
+        "table5" => print!("{}", experiments::table5(&suite)),
+        "table6" => print!("{}", experiments::table6(&suite)),
+        "fig5" => print!("{}", experiments::fig5(&suite)),
+        "all" => {
+            println!("{}", experiments::fig4(&suite));
+            println!("{}", experiments::fig4_pmf(&suite));
+            println!("{}", experiments::table4(&suite));
+            println!("{}", experiments::table5(&suite));
+            println!("{}", experiments::table6(&suite));
+            println!("{}", experiments::fig5(&suite));
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,241 @@
+//! The parallel campaign runner.
+//!
+//! One campaign = one (program, tool) pair: profile once, then `trials`
+//! independent single-fault runs with uniformly drawn dynamic targets,
+//! classified against the golden output. Trials are deterministic functions
+//! of `(campaign seed, tool, trial index)`, so campaigns are reproducible
+//! and embarrassingly parallel (crossbeam scoped threads over disjoint
+//! trial ranges).
+
+use crate::classify::{classify, Outcome};
+use crate::tools::{PreparedTool, Tool};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use refine_ir::Module;
+use serde::{Deserialize, Serialize};
+
+/// Outcome frequencies of a campaign (one row of the paper's Table 6).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OutcomeCounts {
+    /// Crashes (traps, non-zero exits, timeouts).
+    pub crash: u64,
+    /// Silent output corruptions.
+    pub soc: u64,
+    /// Benign runs.
+    pub benign: u64,
+}
+
+impl OutcomeCounts {
+    /// Total trials.
+    pub fn total(&self) -> u64 {
+        self.crash + self.soc + self.benign
+    }
+
+    /// Record one outcome.
+    pub fn add(&mut self, o: Outcome) {
+        match o {
+            Outcome::Crash => self.crash += 1,
+            Outcome::Soc => self.soc += 1,
+            Outcome::Benign => self.benign += 1,
+        }
+    }
+
+    /// As a `[crash, soc, benign]` row for chi-squared testing.
+    pub fn row(&self) -> Vec<u64> {
+        vec![self.crash, self.soc, self.benign]
+    }
+
+    /// Percentages `[crash, soc, benign]`.
+    pub fn percentages(&self) -> [f64; 3] {
+        let t = self.total().max(1) as f64;
+        [
+            100.0 * self.crash as f64 / t,
+            100.0 * self.soc as f64 / t,
+            100.0 * self.benign as f64 / t,
+        ]
+    }
+}
+
+/// Campaign parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct CampaignConfig {
+    /// Number of fault-injection trials (the paper uses 1,068).
+    pub trials: u64,
+    /// Master seed; different seeds give independent samples.
+    pub seed: u64,
+    /// Worker threads (0 = all available cores).
+    pub threads: usize,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig { trials: 1068, seed: 0xB1ADE, threads: 0 }
+    }
+}
+
+/// A completed campaign.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CampaignResult {
+    /// Tool name.
+    pub tool: String,
+    /// Outcome frequencies.
+    pub counts: OutcomeCounts,
+    /// Total simulated cycles across all trials (the Figure 5 metric:
+    /// campaign "execution time", where crashed runs end early).
+    pub total_cycles: u64,
+    /// Dynamic FI-target population.
+    pub population: u64,
+    /// Profiled execution cycles (also the 10x-timeout basis).
+    pub profile_cycles: u64,
+}
+
+/// Per-trial seeding: independent streams per (seed, tool, trial).
+fn trial_stream(seed: u64, tool: Tool, trial: u64) -> (u64, u64) {
+    let tool_id = match tool {
+        Tool::Llfi => 1u64,
+        Tool::Refine => 2,
+        Tool::Pinfi => 3,
+    };
+    let mut h = seed ^ (tool_id.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    h ^= trial.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    // splitmix64 finalizer
+    let mut z = h.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    (z, z.rotate_left(17) ^ 0xDEAD_BEEF_CAFE_F00D)
+}
+
+/// Run a full campaign of `cfg.trials` single-fault runs.
+pub fn run_campaign(module: &Module, tool: Tool, cfg: &CampaignConfig) -> CampaignResult {
+    let prepared = PreparedTool::prepare(module, tool);
+    run_campaign_prepared(&prepared, cfg)
+}
+
+/// Run a campaign against an already-prepared tool (lets callers share the
+/// compile+profile work across experiments).
+pub fn run_campaign_prepared(prepared: &PreparedTool, cfg: &CampaignConfig) -> CampaignResult {
+    let threads = if cfg.threads == 0 {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+    } else {
+        cfg.threads
+    };
+    let threads = threads.min(cfg.trials.max(1) as usize).max(1);
+
+    let chunk = cfg.trials.div_ceil(threads as u64);
+    let results: Vec<(OutcomeCounts, u64)> = crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for t in 0..threads as u64 {
+            let lo = t * chunk;
+            let hi = ((t + 1) * chunk).min(cfg.trials);
+            if lo >= hi {
+                break;
+            }
+            let prepared = &*prepared;
+            let cfg = *cfg;
+            handles.push(scope.spawn(move |_| {
+                let mut counts = OutcomeCounts::default();
+                let mut cycles = 0u64;
+                for trial in lo..hi {
+                    let (s1, s2) = trial_stream(cfg.seed, prepared.tool, trial);
+                    let mut rng = StdRng::seed_from_u64(s1);
+                    let target = rng.gen_range(1..=prepared.population);
+                    let r = prepared.run_trial(target, s2);
+                    counts.add(classify(&prepared.golden, &r));
+                    cycles += r.cycles;
+                }
+                (counts, cycles)
+            }));
+        }
+        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+    })
+    .expect("campaign scope");
+
+    let mut counts = OutcomeCounts::default();
+    let mut total_cycles = 0;
+    for (c, cy) in results {
+        counts.crash += c.crash;
+        counts.soc += c.soc;
+        counts.benign += c.benign;
+        total_cycles += cy;
+    }
+    CampaignResult {
+        tool: prepared.tool.name().to_string(),
+        counts,
+        total_cycles,
+        population: prepared.population,
+        profile_cycles: prepared.profile_cycles,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_module() -> Module {
+        refine_frontend::compile_source(
+            "fvar a[16];\n\
+             fn main() {\n\
+               for (i = 0; i < 16; i = i + 1) { a[i] = float(i) * 1.5 + 1.0; }\n\
+               let s: float = 0.0;\n\
+               for (i = 0; i < 16; i = i + 1) { s = s + sqrt(a[i]); }\n\
+               print_f(s);\n\
+               return 0;\n\
+             }",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn campaign_totals_match_trials() {
+        let m = tiny_module();
+        let cfg = CampaignConfig { trials: 40, seed: 7, threads: 2 };
+        for tool in Tool::all() {
+            let r = run_campaign(&m, tool, &cfg);
+            assert_eq!(r.counts.total(), 40, "{}", tool.name());
+            assert!(r.total_cycles > 0);
+        }
+    }
+
+    #[test]
+    fn campaigns_are_reproducible() {
+        let m = tiny_module();
+        let cfg = CampaignConfig { trials: 30, seed: 99, threads: 3 };
+        let a = run_campaign(&m, Tool::Refine, &cfg);
+        let b = run_campaign(&m, Tool::Refine, &cfg);
+        assert_eq!(a.counts, b.counts);
+        assert_eq!(a.total_cycles, b.total_cycles);
+        // Thread count must not change the result (trial-indexed streams).
+        let c = run_campaign(&m, Tool::Refine, &CampaignConfig { threads: 1, ..cfg });
+        assert_eq!(a.counts, c.counts);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let m = tiny_module();
+        let a = run_campaign(
+            &m,
+            Tool::Pinfi,
+            &CampaignConfig { trials: 60, seed: 1, threads: 2 },
+        );
+        let b = run_campaign(
+            &m,
+            Tool::Pinfi,
+            &CampaignConfig { trials: 60, seed: 2, threads: 2 },
+        );
+        assert_ne!((a.counts.crash, a.counts.soc), (b.counts.crash, b.counts.soc));
+    }
+
+    #[test]
+    fn outcome_counts_helpers() {
+        let mut c = OutcomeCounts::default();
+        c.add(Outcome::Crash);
+        c.add(Outcome::Soc);
+        c.add(Outcome::Benign);
+        c.add(Outcome::Benign);
+        assert_eq!(c.total(), 4);
+        assert_eq!(c.row(), vec![1, 1, 2]);
+        let p = c.percentages();
+        assert_eq!(p[2], 50.0);
+    }
+}

@@ -1,0 +1,157 @@
+//! Outcome classification (paper §4.3.2 and Figure 3b).
+
+use refine_machine::{OutEvent, RunOutcome, RunResult};
+
+/// The three outcome categories of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Outcome {
+    /// Non-zero exit code, hardware trap, or timeout (10x profiled time).
+    Crash,
+    /// Clean exit but the final output differs from the golden output
+    /// (Silent Output Corruption).
+    Soc,
+    /// Clean exit, golden output.
+    Benign,
+}
+
+impl Outcome {
+    /// Column label used in tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            Outcome::Crash => "Crash",
+            Outcome::Soc => "SOC",
+            Outcome::Benign => "Benign",
+        }
+    }
+}
+
+/// The error-free reference produced by the profiling run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Golden {
+    /// Formatted final output lines.
+    pub lines: Vec<String>,
+    /// Expected exit code (0 for every benchmark).
+    pub exit_code: i64,
+}
+
+impl Golden {
+    /// Capture a golden reference from an error-free run.
+    pub fn from_run(r: &RunResult) -> Golden {
+        let RunOutcome::Exit(code) = r.outcome else {
+            panic!("golden run did not exit cleanly: {:?}", r.outcome);
+        };
+        Golden { lines: format_events(&r.output), exit_code: code }
+    }
+}
+
+/// Render output events the way the original programs print results:
+/// integers in full, doubles with six significant digits (so faults below
+/// print precision are benign, as with real `printf("%g")` output diffs).
+pub fn format_events(events: &[OutEvent]) -> Vec<String> {
+    events
+        .iter()
+        .map(|e| match e {
+            OutEvent::I64(v) => format!("{v}"),
+            OutEvent::F64(v) => format!("{v:.6e}"),
+            OutEvent::Str(s) => s.clone(),
+        })
+        .collect()
+}
+
+/// Classify one fault-injection run against the golden reference.
+pub fn classify(golden: &Golden, run: &RunResult) -> Outcome {
+    match run.outcome {
+        RunOutcome::Trap(_) | RunOutcome::Timeout => Outcome::Crash,
+        RunOutcome::Exit(code) if code != golden.exit_code => Outcome::Crash,
+        RunOutcome::Exit(_) => {
+            if format_events(&run.output) == golden.lines {
+                Outcome::Benign
+            } else {
+                Outcome::Soc
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use refine_machine::Trap;
+
+    fn run(outcome: RunOutcome, output: Vec<OutEvent>) -> RunResult {
+        RunResult { outcome, output, cycles: 0, instrs_retired: 0 }
+    }
+
+    fn golden() -> Golden {
+        Golden {
+            lines: format_events(&[OutEvent::Str("x".into()), OutEvent::F64(1.25)]),
+            exit_code: 0,
+        }
+    }
+
+    #[test]
+    fn trap_and_timeout_are_crashes() {
+        let g = golden();
+        assert_eq!(classify(&g, &run(RunOutcome::Trap(Trap::DivFault), vec![])), Outcome::Crash);
+        assert_eq!(classify(&g, &run(RunOutcome::Timeout, vec![])), Outcome::Crash);
+    }
+
+    #[test]
+    fn nonzero_exit_is_crash() {
+        let g = golden();
+        let r = run(
+            RunOutcome::Exit(3),
+            vec![OutEvent::Str("x".into()), OutEvent::F64(1.25)],
+        );
+        assert_eq!(classify(&g, &r), Outcome::Crash);
+    }
+
+    #[test]
+    fn matching_output_is_benign() {
+        let g = golden();
+        let r = run(RunOutcome::Exit(0), vec![OutEvent::Str("x".into()), OutEvent::F64(1.25)]);
+        assert_eq!(classify(&g, &r), Outcome::Benign);
+    }
+
+    #[test]
+    fn differing_output_is_soc() {
+        let g = golden();
+        let r = run(RunOutcome::Exit(0), vec![OutEvent::Str("x".into()), OutEvent::F64(1.5)]);
+        assert_eq!(classify(&g, &r), Outcome::Soc);
+        // Missing output is SOC too.
+        let r2 = run(RunOutcome::Exit(0), vec![OutEvent::Str("x".into())]);
+        assert_eq!(classify(&g, &r2), Outcome::Soc);
+    }
+
+    /// Flips below the 6-significant-digit print precision are benign —
+    /// this is what keeps low-mantissa FP faults in the benign column, as
+    /// with the real applications' text output comparison.
+    #[test]
+    fn sub_precision_fp_noise_is_benign() {
+        let g = Golden { lines: format_events(&[OutEvent::F64(1.25)]), exit_code: 0 };
+        let noisy = f64::from_bits(1.25f64.to_bits() ^ 1); // flip the lowest mantissa bit
+        let r = run(RunOutcome::Exit(0), vec![OutEvent::F64(noisy)]);
+        assert_eq!(classify(&g, &r), Outcome::Benign);
+        // But a high mantissa/exponent flip is visible.
+        let big = f64::from_bits(1.25f64.to_bits() ^ (1 << 60));
+        let r2 = run(RunOutcome::Exit(0), vec![OutEvent::F64(big)]);
+        assert_eq!(classify(&g, &r2), Outcome::Soc);
+    }
+
+    #[test]
+    fn nan_output_is_soc_not_crash() {
+        let g = Golden { lines: format_events(&[OutEvent::F64(1.0)]), exit_code: 0 };
+        let r = run(RunOutcome::Exit(0), vec![OutEvent::F64(f64::NAN)]);
+        assert_eq!(classify(&g, &r), Outcome::Soc);
+    }
+
+    #[test]
+    fn formatting_is_stable() {
+        let lines = format_events(&[
+            OutEvent::I64(-42),
+            OutEvent::F64(123.456789),
+            OutEvent::F64(0.0),
+        ]);
+        assert_eq!(lines, vec!["-42", "1.234568e2", "0.000000e0"]);
+    }
+}

@@ -1,0 +1,27 @@
+#![warn(missing_docs)]
+
+//! `refine-campaign` — the fault-injection campaign harness: the paper's
+//! experiment workflow (§4.3, §5.3) end to end.
+//!
+//! * [`classify`] — outcome classification: *crash* (trap, non-zero exit,
+//!   or timeout at 10x the profiled execution), *SOC* (final printed output
+//!   differs from the golden output at 6 significant digits), or *benign*;
+//! * [`tools`] — a uniform interface over the three injectors (LLFI,
+//!   REFINE, PINFI): compile/attach, profile, run one trial;
+//! * [`campaign`] — the parallel trial runner (1,068 trials per
+//!   program x tool by default, crossbeam-scoped worker threads,
+//!   deterministic per-trial seeding);
+//! * [`experiments`] — drivers that regenerate every table and figure of
+//!   the paper's evaluation (Figure 4, Table 4, Table 5, Table 6, Figure 5,
+//!   and the §5.3 sample-size computation).
+
+pub mod campaign;
+pub mod classify;
+pub mod experiments;
+pub mod propagation;
+pub mod tools;
+
+pub use campaign::{run_campaign, CampaignConfig, CampaignResult, OutcomeCounts};
+pub use classify::{classify, format_events, Golden, Outcome};
+pub use propagation::{trace_fault, PropagationReport, PropagationStats};
+pub use tools::{PreparedTool, Tool};

@@ -1,0 +1,189 @@
+//! A uniform interface over the three fault injectors.
+
+use crate::classify::Golden;
+use refine_core::{FiOptions, InjectingRt, ProfilingRt};
+use refine_ir::passes::OptLevel;
+use refine_ir::Module;
+use refine_machine::{Binary, Machine, NoFi, RunConfig, RunResult};
+use refine_pinfi::{PinfiInjector, PinfiProfiler};
+
+/// The three tools compared in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Tool {
+    /// IR-level compiler FI (state of the art before REFINE).
+    Llfi,
+    /// The paper's backend-pass FI.
+    Refine,
+    /// Binary-level FI on the DBI engine (the accuracy baseline).
+    Pinfi,
+}
+
+impl Tool {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Tool::Llfi => "LLFI",
+            Tool::Refine => "REFINE",
+            Tool::Pinfi => "PINFI",
+        }
+    }
+
+    /// All three, in the paper's column order.
+    pub fn all() -> [Tool; 3] {
+        [Tool::Llfi, Tool::Refine, Tool::Pinfi]
+    }
+}
+
+/// A program prepared for a campaign with one tool: the right binary plus
+/// profiling results (population, golden output, timeout budget).
+#[derive(Debug, Clone)]
+pub struct PreparedTool {
+    /// Which tool.
+    pub tool: Tool,
+    /// The binary the campaign executes.
+    pub binary: Binary,
+    /// Dynamic FI-target population (the sampling universe).
+    pub population: u64,
+    /// Golden reference from the profiling run.
+    pub golden: Golden,
+    /// Cycles of the profiled execution (used for the 10x timeout rule and
+    /// the Figure 5 speed accounting).
+    pub profile_cycles: u64,
+    /// Cycle budget per trial: 10x the profiled execution (§4.3.2).
+    pub timeout_cycles: u64,
+    /// Stack size for runs.
+    pub stack_words: usize,
+}
+
+impl PreparedTool {
+    /// Compile/attach `tool` to the program and run the profiling phase.
+    pub fn prepare(module: &Module, tool: Tool) -> PreparedTool {
+        let stack_words = 1 << 16;
+        let cfg = RunConfig { max_cycles: u64::MAX / 4, stack_words };
+        let (binary, population, profile) = match tool {
+            Tool::Refine => {
+                let c = refine_core::compile_with_fi(module, OptLevel::O2, &FiOptions::all());
+                let mut rt = ProfilingRt::default();
+                let r = Machine::run(&c.binary, &cfg, &mut rt, None);
+                (c.binary, rt.count, r)
+            }
+            Tool::Llfi => {
+                let (c, _sites) = refine_llfi::compile_with_llfi(
+                    module,
+                    OptLevel::O2,
+                    &refine_llfi::LlfiOptions::default(),
+                );
+                let mut rt = ProfilingRt::default();
+                let r = Machine::run(&c.binary, &cfg, &mut rt, None);
+                (c.binary, rt.count, r)
+            }
+            Tool::Pinfi => {
+                let c = refine_core::compile_with_fi(module, OptLevel::O2, &FiOptions::default());
+                let mut probe = PinfiProfiler::default();
+                let r = Machine::run(&c.binary, &cfg, &mut NoFi, Some(&mut probe));
+                (c.binary, probe.count, r)
+            }
+        };
+        assert!(population > 0, "{}: empty FI population", tool.name());
+        let golden = Golden::from_run(&profile);
+        PreparedTool {
+            tool,
+            binary,
+            population,
+            golden,
+            profile_cycles: profile.cycles,
+            timeout_cycles: profile.cycles.saturating_mul(10),
+            stack_words,
+        }
+    }
+
+    /// Prepare REFINE with custom flags (`-fi-funcs`/`-fi-instrs`
+    /// selections), for targeted campaigns and class ablations.
+    pub fn prepare_refine_with(module: &Module, opts: &FiOptions) -> PreparedTool {
+        assert!(opts.fi, "instrumentation must be enabled");
+        let stack_words = 1 << 16;
+        let cfg = RunConfig { max_cycles: u64::MAX / 4, stack_words };
+        let c = refine_core::compile_with_fi(module, OptLevel::O2, opts);
+        let mut rt = ProfilingRt::default();
+        let r = Machine::run(&c.binary, &cfg, &mut rt, None);
+        assert!(rt.count > 0, "selected FI population is empty");
+        let golden = Golden::from_run(&r);
+        PreparedTool {
+            tool: Tool::Refine,
+            binary: c.binary,
+            population: rt.count,
+            golden,
+            profile_cycles: r.cycles,
+            timeout_cycles: r.cycles.saturating_mul(10),
+            stack_words,
+        }
+    }
+
+    /// Execute one fault-injection trial at dynamic target instruction
+    /// `target` (1-based) with RNG stream `seed`.
+    pub fn run_trial(&self, target: u64, seed: u64) -> RunResult {
+        let cfg = RunConfig { max_cycles: self.timeout_cycles, stack_words: self.stack_words };
+        match self.tool {
+            Tool::Refine | Tool::Llfi => {
+                let mut rt = InjectingRt::new(target, seed);
+                Machine::run(&self.binary, &cfg, &mut rt, None)
+            }
+            Tool::Pinfi => {
+                let mut probe = PinfiInjector::new(target, seed);
+                Machine::run(&self.binary, &cfg, &mut NoFi, Some(&mut probe))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classify::{classify, Outcome};
+
+    fn module() -> Module {
+        refine_benchmarks::by_name("HPCCG-1.0").unwrap().module()
+    }
+
+    #[test]
+    fn all_tools_prepare_with_same_golden() {
+        let m = module();
+        let prepared: Vec<PreparedTool> =
+            Tool::all().iter().map(|t| PreparedTool::prepare(&m, *t)).collect();
+        // Golden output must agree across tools (it is the program's output).
+        assert_eq!(prepared[0].golden, prepared[1].golden);
+        assert_eq!(prepared[1].golden, prepared[2].golden);
+        // REFINE and PINFI sample the identical population; LLFI's is
+        // smaller (IR-only).
+        let llfi = &prepared[0];
+        let refine = &prepared[1];
+        let pinfi = &prepared[2];
+        assert_eq!(refine.population, pinfi.population);
+        assert!(llfi.population < pinfi.population);
+    }
+
+    #[test]
+    fn trials_classify_into_all_categories_eventually() {
+        let m = module();
+        let p = PreparedTool::prepare(&m, Tool::Refine);
+        let mut seen = std::collections::HashSet::new();
+        for k in 0..60u64 {
+            let target = 1 + (p.population * k / 60);
+            let r = p.run_trial(target, k * 7 + 1);
+            seen.insert(classify(&p.golden, &r));
+        }
+        assert!(seen.contains(&Outcome::Benign), "no benign outcome in 60 trials");
+        assert!(seen.len() >= 2, "expected some outcome diversity: {seen:?}");
+    }
+
+    #[test]
+    fn trial_is_deterministic_given_target_and_seed() {
+        let m = module();
+        let p = PreparedTool::prepare(&m, Tool::Pinfi);
+        let a = p.run_trial(1234, 5);
+        let b = p.run_trial(1234, 5);
+        assert_eq!(a.outcome, b.outcome);
+        assert_eq!(a.output, b.output);
+        assert_eq!(a.cycles, b.cycles);
+    }
+}

@@ -1,0 +1,182 @@
+//! The compiler-flag interface of REFINE (the paper's Table 2) and the
+//! `-fi-funcs` pattern matcher.
+
+use refine_machine::{fi_outputs, MInstr};
+
+/// The `-fi-instrs` instruction-class filter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum InstrClass {
+    /// `stack`: push/pop and sp/fp-writing instructions.
+    Stack,
+    /// `arithm`: integer/float ALU, compares, conversions.
+    Arith,
+    /// `mem`: explicit loads and stores.
+    Mem,
+    /// `all`: every instruction with at least one output register.
+    #[default]
+    All,
+}
+
+impl InstrClass {
+    /// Parse a `-fi-instrs` argument.
+    pub fn parse(s: &str) -> Option<InstrClass> {
+        Some(match s {
+            "stack" => InstrClass::Stack,
+            "arithm" => InstrClass::Arith,
+            "mem" => InstrClass::Mem,
+            "all" => InstrClass::All,
+            _ => return None,
+        })
+    }
+
+    /// Is `i` an FI target under this class filter? (It must additionally
+    /// have at least one output register — the fault model injects into
+    /// destination registers.)
+    pub fn matches(self, i: &MInstr) -> bool {
+        if fi_outputs(i).is_empty() {
+            return false;
+        }
+        match self {
+            InstrClass::Stack => i.is_stack_class(),
+            InstrClass::Arith => i.is_arith_class(),
+            InstrClass::Mem => i.is_mem_class(),
+            InstrClass::All => true,
+        }
+    }
+}
+
+/// The REFINE flag set (`-mllvm -fi=true -mllvm -fi-funcs=* -fi-instrs=all`
+/// in the paper's workflow).
+#[derive(Debug, Clone)]
+pub struct FiOptions {
+    /// `-fi`: master enable.
+    pub fi: bool,
+    /// `-fi-funcs`: comma-separated function names or `*` globs.
+    pub fi_funcs: String,
+    /// `-fi-instrs`: instruction-class filter.
+    pub fi_instrs: InstrClass,
+}
+
+impl Default for FiOptions {
+    fn default() -> Self {
+        FiOptions { fi: false, fi_funcs: "*".into(), fi_instrs: InstrClass::All }
+    }
+}
+
+impl FiOptions {
+    /// The configuration used throughout the paper's evaluation:
+    /// `-fi=true -fi-funcs=* -fi-instrs=all`.
+    pub fn all() -> Self {
+        FiOptions { fi: true, ..Default::default() }
+    }
+
+    /// Parse a flag string like
+    /// `-fi=true -fi-funcs=compute_*,main -fi-instrs=arithm`.
+    pub fn parse_flags(s: &str) -> Result<FiOptions, String> {
+        let mut o = FiOptions::default();
+        for tok in s.split_whitespace() {
+            let tok = tok.trim_start_matches("-mllvm").trim();
+            if tok.is_empty() {
+                continue;
+            }
+            let Some((k, v)) = tok.trim_start_matches('-').split_once('=') else {
+                return Err(format!("malformed flag `{tok}`"));
+            };
+            match k {
+                "fi" => {
+                    o.fi = match v {
+                        "true" => true,
+                        "false" => false,
+                        _ => return Err(format!("bad -fi value `{v}`")),
+                    }
+                }
+                "fi-funcs" => o.fi_funcs = v.to_string(),
+                "fi-instrs" => {
+                    o.fi_instrs = InstrClass::parse(v)
+                        .ok_or_else(|| format!("bad -fi-instrs value `{v}`"))?
+                }
+                other => return Err(format!("unknown flag `-{other}`")),
+            }
+        }
+        Ok(o)
+    }
+
+    /// Does the `-fi-funcs` filter select function `name`?
+    pub fn func_selected(&self, name: &str) -> bool {
+        self.fi_funcs.split(',').any(|pat| glob_match(pat.trim(), name))
+    }
+}
+
+/// Minimal glob matcher: `*` matches any (possibly empty) substring.
+pub fn glob_match(pat: &str, s: &str) -> bool {
+    fn inner(p: &[u8], s: &[u8]) -> bool {
+        match (p.first(), s.first()) {
+            (None, None) => true,
+            (Some(b'*'), _) => inner(&p[1..], s) || (!s.is_empty() && inner(p, &s[1..])),
+            (Some(c), Some(d)) if c == d => inner(&p[1..], &s[1..]),
+            _ => false,
+        }
+    }
+    inner(pat.as_bytes(), s.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use refine_machine::{AluOp, Mem};
+
+    #[test]
+    fn glob_matching() {
+        assert!(glob_match("*", "anything"));
+        assert!(glob_match("compute_*", "compute_residual"));
+        assert!(!glob_match("compute_*", "main"));
+        assert!(glob_match("*force*", "eam_force_kernel"));
+        assert!(glob_match("main", "main"));
+        assert!(!glob_match("main", "domain"));
+        assert!(glob_match("", ""));
+        assert!(!glob_match("", "x"));
+    }
+
+    #[test]
+    fn parse_paper_flag_string() {
+        let o = FiOptions::parse_flags("-fi=true -fi-funcs=* -fi-instrs=all").unwrap();
+        assert!(o.fi);
+        assert!(o.func_selected("anything"));
+        assert_eq!(o.fi_instrs, InstrClass::All);
+    }
+
+    #[test]
+    fn parse_selective_flags() {
+        let o = FiOptions::parse_flags("-fi=true -fi-funcs=cg_*,main -fi-instrs=arithm").unwrap();
+        assert!(o.func_selected("cg_solve"));
+        assert!(o.func_selected("main"));
+        assert!(!o.func_selected("setup"));
+        assert_eq!(o.fi_instrs, InstrClass::Arith);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(FiOptions::parse_flags("-fi=maybe").is_err());
+        assert!(FiOptions::parse_flags("-fi-instrs=everything").is_err());
+        assert!(FiOptions::parse_flags("-unknown=1").is_err());
+    }
+
+    #[test]
+    fn class_filters() {
+        let push = MInstr::Push { rs: 3 };
+        let fadd = MInstr::FAlu { op: refine_machine::FAluOp::Add, fd: 0, fa: 1, fb: 2 };
+        let ld = MInstr::Ld { rd: 1, mem: Mem::abs(0x10000) };
+        let st = MInstr::St { rs: 1, mem: Mem::abs(0x10000) };
+        let jmp = MInstr::Jmp { target: 0 };
+        assert!(InstrClass::Stack.matches(&push));
+        assert!(!InstrClass::Stack.matches(&fadd));
+        assert!(InstrClass::Arith.matches(&fadd));
+        assert!(InstrClass::Mem.matches(&ld));
+        // Stores have no destination register: never targets.
+        assert!(!InstrClass::Mem.matches(&st));
+        assert!(InstrClass::All.matches(&push) && InstrClass::All.matches(&ld));
+        assert!(!InstrClass::All.matches(&jmp));
+        let alu = MInstr::Alu { op: AluOp::Add, rd: 2, ra: 2, rb: 3 };
+        assert!(InstrClass::Arith.matches(&alu) && !InstrClass::Mem.matches(&alu));
+    }
+}

@@ -1,0 +1,161 @@
+//! MiniLang abstract syntax tree.
+
+/// Scalar types of the language.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TypeAnn {
+    /// 64-bit integer (the default).
+    Int,
+    /// binary64 float.
+    Float,
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Rem,
+    /// `&`
+    And,
+    /// `|`
+    Or,
+    /// `^`
+    Xor,
+    /// `<<`
+    Shl,
+    /// `>>` (arithmetic)
+    Shr,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// Non-short-circuit logical and.
+    LAnd,
+    /// Non-short-circuit logical or.
+    LOr,
+}
+
+impl BinOp {
+    /// True for comparison operators (result is boolean-int).
+    pub fn is_cmp(self) -> bool {
+        matches!(self, BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge)
+    }
+}
+
+/// Expressions, each carrying the source line for diagnostics.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Integer literal.
+    Int(i64, u32),
+    /// Float literal.
+    Float(f64, u32),
+    /// Scalar variable read.
+    Var(String, u32),
+    /// Array element read `name[idx]`.
+    Index(String, Box<Expr>, u32),
+    /// Function or builtin call.
+    Call(String, Vec<Expr>, u32),
+    /// Binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>, u32),
+    /// Unary negation.
+    Neg(Box<Expr>, u32),
+    /// Logical not.
+    Not(Box<Expr>, u32),
+}
+
+impl Expr {
+    /// Source line of the expression.
+    pub fn line(&self) -> u32 {
+        match self {
+            Expr::Int(_, l)
+            | Expr::Float(_, l)
+            | Expr::Var(_, l)
+            | Expr::Index(_, _, l)
+            | Expr::Call(_, _, l)
+            | Expr::Bin(_, _, _, l)
+            | Expr::Neg(_, l)
+            | Expr::Not(_, l) => *l,
+        }
+    }
+}
+
+/// Statements.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `let name [: ty] = expr;`
+    Let(String, Option<TypeAnn>, Expr, u32),
+    /// `let name = array(n);` / `farray(n)` — stack array declaration.
+    LetArr(String, u32, bool, u32),
+    /// `name = expr;`
+    Assign(String, Expr, u32),
+    /// `name[idx] = expr;`
+    AssignIdx(String, Expr, Expr, u32),
+    /// `if (c) { .. } [else { .. }]`
+    If(Expr, Vec<Stmt>, Vec<Stmt>, u32),
+    /// `while (c) { .. }`
+    While(Expr, Vec<Stmt>, u32),
+    /// `for (name = e; c; name = e2) { .. }` — `name` is a scalar that must
+    /// already exist or is implicitly declared as int.
+    For(Box<Stmt>, Expr, Box<Stmt>, Vec<Stmt>, u32),
+    /// `return [expr];`
+    Return(Option<Expr>, u32),
+    /// Expression statement (calls for effect).
+    Expr(Expr, u32),
+    /// `print_s("lit");`
+    PrintStr(String, u32),
+}
+
+/// A function definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FnDef {
+    /// Name.
+    pub name: String,
+    /// `(name, type)` parameters.
+    pub params: Vec<(String, TypeAnn)>,
+    /// Return type; `None` for implicit int functions that return nothing
+    /// meaningful (MiniLang functions always return int 0 by default).
+    pub ret: TypeAnn,
+    /// Body.
+    pub body: Vec<Stmt>,
+    /// Source line.
+    pub line: u32,
+}
+
+/// A global declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GlobalDef {
+    /// Name.
+    pub name: String,
+    /// Element count (1 for scalars).
+    pub words: u32,
+    /// Float array/scalar (`fvar`) vs int (`var`).
+    pub is_float: bool,
+    /// True when declared with `name[N]` (indexable).
+    pub is_array: bool,
+    /// Source line.
+    pub line: u32,
+}
+
+/// A whole program.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Program {
+    /// Globals in declaration order (memory layout order).
+    pub globals: Vec<GlobalDef>,
+    /// Functions in declaration order.
+    pub funcs: Vec<FnDef>,
+}

@@ -1,0 +1,229 @@
+//! MiniLang lexer.
+
+use crate::FrontError;
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal (contains `.` or exponent).
+    Float(f64),
+    /// String literal (no escapes except `\n` and `\"`).
+    Str(String),
+    /// One punctuation/operator token.
+    Punct(&'static str),
+    /// End of input.
+    Eof,
+}
+
+/// A token with its source line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The kind and payload.
+    pub kind: TokenKind,
+    /// 1-based line number.
+    pub line: u32,
+}
+
+const PUNCTS2: [&str; 9] = ["==", "!=", "<=", ">=", "&&", "||", "<<", ">>", "->"];
+const PUNCTS1: [&str; 18] = [
+    "+", "-", "*", "/", "%", "<", ">", "=", "!", "&", "|", "^", "(", ")", "{", "}", "[", "]",
+];
+
+/// Lex a source string.
+pub fn lex(src: &str) -> Result<Vec<Token>, FrontError> {
+    let mut toks = Vec::new();
+    let b = src.as_bytes();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    while i < b.len() {
+        let c = b[i] as char;
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        if c == '/' && i + 1 < b.len() && b[i + 1] == b'/' {
+            while i < b.len() && b[i] != b'\n' {
+                i += 1;
+            }
+            continue;
+        }
+        if c.is_ascii_alphabetic() || c == '_' {
+            let start = i;
+            while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                i += 1;
+            }
+            toks.push(Token { kind: TokenKind::Ident(src[start..i].to_string()), line });
+            continue;
+        }
+        if c.is_ascii_digit() {
+            let start = i;
+            let mut is_float = false;
+            while i < b.len() && b[i].is_ascii_digit() {
+                i += 1;
+            }
+            if i < b.len() && b[i] == b'.' && i + 1 < b.len() && b[i + 1].is_ascii_digit() {
+                is_float = true;
+                i += 1;
+                while i < b.len() && b[i].is_ascii_digit() {
+                    i += 1;
+                }
+            }
+            if i < b.len() && (b[i] == b'e' || b[i] == b'E') {
+                let mut j = i + 1;
+                if j < b.len() && (b[j] == b'+' || b[j] == b'-') {
+                    j += 1;
+                }
+                if j < b.len() && b[j].is_ascii_digit() {
+                    is_float = true;
+                    i = j;
+                    while i < b.len() && b[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+            }
+            let text = &src[start..i];
+            let kind = if is_float {
+                TokenKind::Float(text.parse().map_err(|_| FrontError {
+                    line,
+                    msg: format!("bad float literal {text}"),
+                })?)
+            } else {
+                TokenKind::Int(text.parse().map_err(|_| FrontError {
+                    line,
+                    msg: format!("bad integer literal {text}"),
+                })?)
+            };
+            toks.push(Token { kind, line });
+            continue;
+        }
+        if c == '"' {
+            i += 1;
+            let mut s = String::new();
+            loop {
+                if i >= b.len() {
+                    return Err(FrontError { line, msg: "unterminated string".into() });
+                }
+                match b[i] {
+                    b'"' => {
+                        i += 1;
+                        break;
+                    }
+                    b'\\' if i + 1 < b.len() => {
+                        match b[i + 1] {
+                            b'n' => s.push('\n'),
+                            b'"' => s.push('"'),
+                            b'\\' => s.push('\\'),
+                            other => {
+                                return Err(FrontError {
+                                    line,
+                                    msg: format!("bad escape \\{}", other as char),
+                                })
+                            }
+                        }
+                        i += 2;
+                    }
+                    other => {
+                        s.push(other as char);
+                        i += 1;
+                    }
+                }
+            }
+            toks.push(Token { kind: TokenKind::Str(s), line });
+            continue;
+        }
+        // Punctuation: 2-byte operators first. Compare as bytes so
+        // multi-byte UTF-8 input cannot cause mid-character slicing.
+        if i + 1 < b.len() {
+            let two = &b[i..i + 2];
+            if let Some(p) = PUNCTS2.iter().find(|p| p.as_bytes() == two) {
+                toks.push(Token { kind: TokenKind::Punct(p), line });
+                i += 2;
+                continue;
+            }
+        }
+        let one = &b[i..i + 1];
+        if let Some(p) = PUNCTS1.iter().find(|p| p.as_bytes() == one) {
+            toks.push(Token { kind: TokenKind::Punct(p), line });
+            i += 1;
+            continue;
+        }
+        match c {
+            ';' => toks.push(Token { kind: TokenKind::Punct(";"), line }),
+            ',' => toks.push(Token { kind: TokenKind::Punct(","), line }),
+            ':' => toks.push(Token { kind: TokenKind::Punct(":"), line }),
+            _ => {
+                // Report the whole (possibly multi-byte) character.
+                let ch = src[i..].chars().next().unwrap_or('?');
+                return Err(FrontError { line, msg: format!("unexpected character {ch:?}") });
+            }
+        }
+        i += 1;
+    }
+    toks.push(Token { kind: TokenKind::Eof, line });
+    Ok(toks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_mixed_tokens() {
+        let k = kinds("fn f(x) { return x + 1.5e2; } // comment");
+        assert!(k.contains(&TokenKind::Ident("fn".into())));
+        assert!(k.contains(&TokenKind::Float(150.0)));
+        assert!(k.contains(&TokenKind::Punct("+")));
+        assert_eq!(*k.last().unwrap(), TokenKind::Eof);
+    }
+
+    #[test]
+    fn two_char_operators_win() {
+        let k = kinds("a <= b == c << 2");
+        assert!(k.contains(&TokenKind::Punct("<=")));
+        assert!(k.contains(&TokenKind::Punct("==")));
+        assert!(k.contains(&TokenKind::Punct("<<")));
+    }
+
+    #[test]
+    fn string_literals_with_escapes() {
+        let k = kinds(r#"print_s("a\nb\"c")"#);
+        assert!(k.contains(&TokenKind::Str("a\nb\"c".into())));
+    }
+
+    #[test]
+    fn line_numbers_tracked() {
+        let toks = lex("a\nb\nc").unwrap();
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].line, 2);
+        assert_eq!(toks[2].line, 3);
+    }
+
+    #[test]
+    fn integer_vs_float() {
+        assert_eq!(kinds("42")[0], TokenKind::Int(42));
+        assert_eq!(kinds("42.5")[0], TokenKind::Float(42.5));
+        assert_eq!(kinds("1e3")[0], TokenKind::Float(1000.0));
+        // MiniLang requires a digit after the decimal point; a bare `.` is
+        // not a token at all.
+        assert!(lex("7 .").is_err());
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(lex("let $x = 1;").is_err());
+        assert!(lex("\"unterminated").is_err());
+    }
+}

@@ -1,0 +1,155 @@
+#![warn(missing_docs)]
+
+//! `refine-frontend` — MiniLang, the small C-like language the benchmark
+//! programs are written in.
+//!
+//! This crate plays the role of Clang in the paper's toolchain: it parses a
+//! deterministic, single-threaded numerical program and lowers it to
+//! `refine-ir`, after which the shared optimizer and backend take over. The
+//! language is just big enough for the 14 HPC mini-apps: 64-bit integers,
+//! doubles, global and stack arrays, functions, loops, and the libm/print
+//! intrinsics.
+//!
+//! ```
+//! let src = r#"
+//!     fn main() {
+//!         let s = 0;
+//!         for (i = 1; i <= 10; i = i + 1) { s = s + i; }
+//!         print_i(s);
+//!         return 0;
+//!     }
+//! "#;
+//! let module = refine_frontend::compile_source(src).unwrap();
+//! let out = refine_ir::interp::Interp::new(&module, 100_000).run().unwrap();
+//! assert_eq!(out.output, vec![refine_ir::interp::OutEvent::I64(55)]);
+//! ```
+//!
+//! ## Language sketch
+//!
+//! ```text
+//! var seed;             // global i64 scalar (zero-initialized)
+//! var hist[64];         // global i64 array
+//! fvar grid[1024];      // global f64 array
+//!
+//! fn lcg() { seed = (seed * 1103515245 + 12345) % 2147483648; return seed; }
+//!
+//! fn axpy(a: float, n) : float {
+//!     let s: float = 0.0;
+//!     for (i = 0; i < n; i = i + 1) { s = s + a * grid[i]; }
+//!     return s;
+//! }
+//!
+//! fn main() {
+//!     let x = farray(16);          // stack array of f64
+//!     x[0] = sqrt(2.0);
+//!     if (x[0] > 1.0) { print_f(x[0]); }
+//!     print_s("done");
+//!     return 0;
+//! }
+//! ```
+//!
+//! `&&`/`||` are *non-short-circuit* (both sides always evaluate), matching
+//! how the benchmarks use them. `int(e)` / `float(e)` convert explicitly;
+//! mixed arithmetic promotes to float implicitly.
+
+pub mod ast;
+pub mod lexer;
+pub mod lower;
+pub mod parser;
+
+pub use lexer::{lex, Token, TokenKind};
+pub use lower::lower_program;
+pub use parser::parse;
+
+/// A frontend diagnostic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrontError {
+    /// 1-based source line.
+    pub line: u32,
+    /// Human-readable message.
+    pub msg: String,
+}
+
+impl std::fmt::Display for FrontError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for FrontError {}
+
+/// Compile MiniLang source to a verified IR module.
+pub fn compile_source(src: &str) -> Result<refine_ir::Module, FrontError> {
+    let tokens = lex(src)?;
+    let prog = parse(&tokens)?;
+    let module = lower_program(&prog)?;
+    refine_ir::verify::verify_module(&module).map_err(|e| FrontError {
+        line: 0,
+        msg: format!("internal lowering error: {e}"),
+    })?;
+    Ok(module)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use refine_ir::interp::{Interp, OutEvent};
+
+    fn run(src: &str) -> (i64, Vec<OutEvent>) {
+        let m = compile_source(src).expect("compiles");
+        let r = Interp::new(&m, 10_000_000).run().expect("runs");
+        (r.exit_code, r.output)
+    }
+
+    #[test]
+    fn end_to_end_sum() {
+        let (code, out) = run("fn main() { let s = 0; for (i = 1; i <= 100; i = i + 1) { s = s + i; } print_i(s); return s; }");
+        assert_eq!(code, 5050);
+        assert_eq!(out, vec![OutEvent::I64(5050)]);
+    }
+
+    #[test]
+    fn float_math() {
+        let (_, out) = run("fn main() { let x: float = sqrt(16.0) + pow(2.0, 3.0); print_f(x); return 0; }");
+        assert_eq!(out, vec![OutEvent::F64(12.0)]);
+    }
+
+    #[test]
+    fn globals_and_functions() {
+        let (code, _) = run(
+            "var acc;\n\
+             fn add(k) { acc = acc + k; return acc; }\n\
+             fn main() { add(3); add(4); return acc; }",
+        );
+        assert_eq!(code, 7);
+    }
+
+    #[test]
+    fn arrays_global_and_local() {
+        let (code, _) = run(
+            "var tbl[8];\n\
+             fn main() {\n\
+               let loc = array(8);\n\
+               for (i = 0; i < 8; i = i + 1) { tbl[i] = i * i; loc[i] = tbl[i] + 1; }\n\
+               return loc[7];\n\
+             }",
+        );
+        assert_eq!(code, 50);
+    }
+
+    #[test]
+    fn mixed_promotion_and_casts() {
+        let (code, out) = run(
+            "fn main() { let n = 5; let x: float = n * 1.5; print_f(x); return int(x); }",
+        );
+        assert_eq!(out, vec![OutEvent::F64(7.5)]);
+        assert_eq!(code, 7);
+    }
+
+    #[test]
+    fn error_reports_line() {
+        let err = compile_source("fn main() {\n  let x = unknown_var;\n}").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.msg.contains("unknown"));
+    }
+}

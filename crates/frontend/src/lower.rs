@@ -1,0 +1,675 @@
+//! Lowering from the MiniLang AST to `refine-ir`.
+//!
+//! Every scalar variable becomes a hoisted entry-block alloca (mem2reg
+//! promotes the non-escaping ones to SSA at `-O2`, exactly the Clang
+//! pattern); arrays become allocas or globals accessed through `PtrAdd`.
+
+use crate::ast::*;
+use crate::FrontError;
+use refine_ir::{
+    CastOp, FBinOp, FPred, FuncBuilder, FuncId, GlobalId, GlobalInit, IBinOp, IPred, Intrinsic,
+    Module, Operand, Ty,
+};
+use std::collections::HashMap;
+
+/// Expression result classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ETy {
+    /// 64-bit integer.
+    I,
+    /// binary64.
+    F,
+    /// Boolean (`i1`), produced by comparisons.
+    B,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum VarInfo {
+    Scalar { ptr: Operand, is_float: bool },
+    Array { ptr: Operand, is_float: bool },
+}
+
+/// Lower a parsed program into an IR module.
+pub fn lower_program(prog: &Program) -> Result<Module, FrontError> {
+    let mut module = Module::new();
+    let mut globals: HashMap<String, (GlobalId, bool, bool)> = HashMap::new();
+    for g in &prog.globals {
+        if globals.contains_key(&g.name) {
+            return Err(FrontError { line: g.line, msg: format!("duplicate global `{}`", g.name) });
+        }
+        let gid = module.add_global(g.name.clone(), GlobalInit::Zero(g.words));
+        globals.insert(g.name.clone(), (gid, g.is_float, g.is_array));
+    }
+
+    // Pre-register signatures so calls (including recursion and forward
+    // references) resolve by index.
+    let mut sigs: HashMap<String, (FuncId, Vec<TypeAnn>, TypeAnn)> = HashMap::new();
+    for (i, f) in prog.funcs.iter().enumerate() {
+        if sigs.contains_key(&f.name) {
+            return Err(FrontError { line: f.line, msg: format!("duplicate function `{}`", f.name) });
+        }
+        sigs.insert(
+            f.name.clone(),
+            (refine_ir::FuncId(i as u32), f.params.iter().map(|(_, t)| *t).collect(), f.ret),
+        );
+    }
+    if !sigs.contains_key("main") {
+        return Err(FrontError { line: 0, msg: "program must define fn main()".into() });
+    }
+
+    for f in prog.funcs.iter() {
+        let lowered = FnLowerer::new(&mut module, &globals, &sigs, f).lower()?;
+        module.add_function(lowered);
+    }
+    Ok(module)
+}
+
+fn ir_ty(t: TypeAnn) -> Ty {
+    match t {
+        TypeAnn::Int => Ty::I64,
+        TypeAnn::Float => Ty::F64,
+    }
+}
+
+struct FnLowerer<'a> {
+    module: &'a mut Module,
+    globals: &'a HashMap<String, (GlobalId, bool, bool)>,
+    sigs: &'a HashMap<String, (FuncId, Vec<TypeAnn>, TypeAnn)>,
+    def: &'a FnDef,
+    b: FuncBuilder,
+    scopes: Vec<HashMap<String, VarInfo>>,
+}
+
+impl<'a> FnLowerer<'a> {
+    fn new(
+        module: &'a mut Module,
+        globals: &'a HashMap<String, (GlobalId, bool, bool)>,
+        sigs: &'a HashMap<String, (FuncId, Vec<TypeAnn>, TypeAnn)>,
+        def: &'a FnDef,
+    ) -> Self {
+        let b = FuncBuilder::new(
+            def.name.clone(),
+            def.params.iter().map(|(_, t)| ir_ty(*t)).collect(),
+            Some(ir_ty(def.ret)),
+        );
+        FnLowerer { module, globals, sigs, def, b, scopes: vec![HashMap::new()] }
+    }
+
+    fn err<T>(&self, line: u32, msg: impl Into<String>) -> Result<T, FrontError> {
+        Err(FrontError { line, msg: msg.into() })
+    }
+
+    fn lookup(&self, name: &str) -> Option<VarInfo> {
+        for s in self.scopes.iter().rev() {
+            if let Some(v) = s.get(name) {
+                return Some(*v);
+            }
+        }
+        self.globals.get(name).map(|(gid, is_float, is_array)| {
+            if *is_array {
+                VarInfo::Array { ptr: Operand::Global(*gid), is_float: *is_float }
+            } else {
+                VarInfo::Scalar { ptr: Operand::Global(*gid), is_float: *is_float }
+            }
+        })
+    }
+
+    fn declare_scalar(&mut self, name: &str, is_float: bool) -> Operand {
+        let ptr = self.b.alloca_in_entry(1);
+        self.scopes
+            .last_mut()
+            .unwrap()
+            .insert(name.to_string(), VarInfo::Scalar { ptr, is_float });
+        ptr
+    }
+
+    fn lower(mut self) -> Result<refine_ir::Function, FrontError> {
+        // Land parameters in allocas so they are assignable.
+        let params = self.b.params();
+        for ((pname, pty), pval) in self.def.params.iter().zip(params) {
+            let ptr = self.declare_scalar(pname, *pty == TypeAnn::Float);
+            self.b.store(ptr, pval, ir_ty(*pty));
+        }
+        let body = self.def.body.clone();
+        self.lower_stmts(&body)?;
+        if !self.b.is_terminated() {
+            let zero = match self.def.ret {
+                TypeAnn::Int => Operand::ConstI(0),
+                TypeAnn::Float => Operand::ConstF(0.0),
+            };
+            self.b.ret(Some(zero));
+        }
+        Ok(self.b.finish())
+    }
+
+    fn lower_stmts(&mut self, stmts: &[Stmt]) -> Result<(), FrontError> {
+        for s in stmts {
+            if self.b.is_terminated() {
+                break; // dead code after return
+            }
+            self.lower_stmt(s)?;
+        }
+        Ok(())
+    }
+
+    fn lower_stmt(&mut self, s: &Stmt) -> Result<(), FrontError> {
+        match s {
+            Stmt::Let(name, ann, init, line) => {
+                let (v, ty) = self.lower_expr(init)?;
+                let want_float = match ann {
+                    Some(TypeAnn::Float) => true,
+                    Some(TypeAnn::Int) => false,
+                    None => ty == ETy::F,
+                };
+                let v = if want_float { self.to_f(v, ty) } else { self.to_i(v, ty) };
+                let _ = line;
+                let ptr = self.declare_scalar(name, want_float);
+                self.b.store(ptr, v, if want_float { Ty::F64 } else { Ty::I64 });
+            }
+            Stmt::LetArr(name, n, is_float, _line) => {
+                let ptr = self.b.alloca_in_entry(*n);
+                self.scopes
+                    .last_mut()
+                    .unwrap()
+                    .insert(name.clone(), VarInfo::Array { ptr, is_float: *is_float });
+                // Stack arrays are zero-initialized (the interpreter's and
+                // machine's fresh stacks are zeroed; a real program would
+                // memset — keep semantics identical everywhere).
+            }
+            Stmt::Assign(name, e, line) => {
+                let info = match self.lookup(name) {
+                    Some(i) => i,
+                    None => {
+                        // Implicit int declaration, used by for-loop headers.
+                        let (v, ty) = self.lower_expr(e)?;
+                        let v = self.to_i(v, ty);
+                        let ptr = self.declare_scalar(name, false);
+                        self.b.store(ptr, v, Ty::I64);
+                        return Ok(());
+                    }
+                };
+                match info {
+                    VarInfo::Scalar { ptr, is_float } => {
+                        let (v, ty) = self.lower_expr(e)?;
+                        let v = if is_float { self.to_f(v, ty) } else { self.to_i(v, ty) };
+                        self.b.store(ptr, v, if is_float { Ty::F64 } else { Ty::I64 });
+                    }
+                    VarInfo::Array { .. } => {
+                        return self.err(*line, format!("cannot assign to array `{name}` without an index"))
+                    }
+                }
+            }
+            Stmt::AssignIdx(name, idx, e, line) => {
+                let info = self
+                    .lookup(name)
+                    .ok_or_else(|| FrontError { line: *line, msg: format!("unknown array `{name}`") })?;
+                let VarInfo::Array { ptr, is_float } = info else {
+                    return self.err(*line, format!("`{name}` is not an array"));
+                };
+                let (iv, ity) = self.lower_expr(idx)?;
+                let iv = self.to_i(iv, ity);
+                let addr = self.b.elem(ptr, iv);
+                let (v, ty) = self.lower_expr(e)?;
+                let v = if is_float { self.to_f(v, ty) } else { self.to_i(v, ty) };
+                self.b.store(addr, v, if is_float { Ty::F64 } else { Ty::I64 });
+            }
+            Stmt::If(c, then, els, _line) => {
+                let cond = self.lower_cond(c)?;
+                let tb = self.b.add_block("if.then");
+                let eb = self.b.add_block("if.else");
+                let jb = self.b.add_block("if.end");
+                self.b.cond_br(cond, tb, eb);
+                self.b.switch_to(tb);
+                self.scopes.push(HashMap::new());
+                self.lower_stmts(then)?;
+                self.scopes.pop();
+                if !self.b.is_terminated() {
+                    self.b.br(jb);
+                }
+                self.b.switch_to(eb);
+                self.scopes.push(HashMap::new());
+                self.lower_stmts(els)?;
+                self.scopes.pop();
+                if !self.b.is_terminated() {
+                    self.b.br(jb);
+                }
+                self.b.switch_to(jb);
+                // If both arms returned, the join block is unreachable; give
+                // it a terminator so the function stays well-formed.
+            }
+            Stmt::While(c, body, _line) => {
+                let hb = self.b.add_block("while.head");
+                let bb = self.b.add_block("while.body");
+                let eb = self.b.add_block("while.end");
+                self.b.br(hb);
+                self.b.switch_to(hb);
+                let cond = self.lower_cond(c)?;
+                self.b.cond_br(cond, bb, eb);
+                self.b.switch_to(bb);
+                self.scopes.push(HashMap::new());
+                self.lower_stmts(body)?;
+                self.scopes.pop();
+                if !self.b.is_terminated() {
+                    self.b.br(hb);
+                }
+                self.b.switch_to(eb);
+            }
+            Stmt::For(init, c, step, body, _line) => {
+                self.scopes.push(HashMap::new());
+                self.lower_stmt(init)?;
+                let hb = self.b.add_block("for.head");
+                let bb = self.b.add_block("for.body");
+                let eb = self.b.add_block("for.end");
+                self.b.br(hb);
+                self.b.switch_to(hb);
+                let cond = self.lower_cond(c)?;
+                self.b.cond_br(cond, bb, eb);
+                self.b.switch_to(bb);
+                self.scopes.push(HashMap::new());
+                self.lower_stmts(body)?;
+                self.scopes.pop();
+                if !self.b.is_terminated() {
+                    self.lower_stmt(step)?;
+                    self.b.br(hb);
+                }
+                self.scopes.pop();
+                self.b.switch_to(eb);
+            }
+            Stmt::Return(e, _line) => {
+                let want_float = self.def.ret == TypeAnn::Float;
+                let v = match e {
+                    Some(e) => {
+                        let (v, ty) = self.lower_expr(e)?;
+                        if want_float {
+                            self.to_f(v, ty)
+                        } else {
+                            self.to_i(v, ty)
+                        }
+                    }
+                    None => {
+                        if want_float {
+                            Operand::ConstF(0.0)
+                        } else {
+                            Operand::ConstI(0)
+                        }
+                    }
+                };
+                self.b.ret(Some(v));
+            }
+            Stmt::Expr(e, _line) => {
+                self.lower_expr(e)?;
+            }
+            Stmt::PrintStr(s, _line) => {
+                let id = self.module.add_string(s.clone());
+                self.b.print_str(id);
+            }
+        }
+        Ok(())
+    }
+
+    /// Lower an expression used as a branch condition into an `i1`.
+    fn lower_cond(&mut self, e: &Expr) -> Result<Operand, FrontError> {
+        let (v, ty) = self.lower_expr(e)?;
+        Ok(match ty {
+            ETy::B => v,
+            ETy::I => self.b.icmp(IPred::Ne, v, Operand::ConstI(0)),
+            ETy::F => self.b.fcmp(FPred::One, v, Operand::ConstF(0.0)),
+        })
+    }
+
+    fn to_i(&mut self, v: Operand, ty: ETy) -> Operand {
+        match ty {
+            ETy::I => v,
+            ETy::B => self.b.cast(CastOp::I1ToI64, v),
+            ETy::F => self.b.cast(CastOp::FToSi, v),
+        }
+    }
+
+    fn to_f(&mut self, v: Operand, ty: ETy) -> Operand {
+        match ty {
+            ETy::F => v,
+            ETy::I => self.b.cast(CastOp::SiToF, v),
+            ETy::B => {
+                let i = self.b.cast(CastOp::I1ToI64, v);
+                self.b.cast(CastOp::SiToF, i)
+            }
+        }
+    }
+
+    fn lower_expr(&mut self, e: &Expr) -> Result<(Operand, ETy), FrontError> {
+        Ok(match e {
+            Expr::Int(n, _) => (Operand::ConstI(*n), ETy::I),
+            Expr::Float(x, _) => (Operand::ConstF(*x), ETy::F),
+            Expr::Var(name, line) => {
+                let info = self
+                    .lookup(name)
+                    .ok_or_else(|| FrontError { line: *line, msg: format!("unknown variable `{name}`") })?;
+                match info {
+                    VarInfo::Scalar { ptr, is_float } => {
+                        let ty = if is_float { Ty::F64 } else { Ty::I64 };
+                        (self.b.load(ptr, ty), if is_float { ETy::F } else { ETy::I })
+                    }
+                    VarInfo::Array { ptr, .. } => (ptr, ETy::I), // array decays to address
+                }
+            }
+            Expr::Index(name, idx, line) => {
+                let info = self
+                    .lookup(name)
+                    .ok_or_else(|| FrontError { line: *line, msg: format!("unknown array `{name}`") })?;
+                let VarInfo::Array { ptr, is_float } = info else {
+                    return self.err(*line, format!("`{name}` is not an array"));
+                };
+                let (iv, ity) = self.lower_expr(idx)?;
+                let iv = self.to_i(iv, ity);
+                let addr = self.b.elem(ptr, iv);
+                let ty = if is_float { Ty::F64 } else { Ty::I64 };
+                (self.b.load(addr, ty), if is_float { ETy::F } else { ETy::I })
+            }
+            Expr::Neg(inner, _) => {
+                let (v, ty) = self.lower_expr(inner)?;
+                match ty {
+                    ETy::F => (self.b.fbin(FBinOp::Sub, Operand::ConstF(0.0), v), ETy::F),
+                    _ => {
+                        let vi = self.to_i(v, ty);
+                        (self.b.ibin(IBinOp::Sub, Operand::ConstI(0), vi), ETy::I)
+                    }
+                }
+            }
+            Expr::Not(inner, _) => {
+                let (v, ty) = self.lower_expr(inner)?;
+                let b = match ty {
+                    ETy::B => {
+                        let z = self.b.cast(CastOp::I1ToI64, v);
+                        self.b.icmp(IPred::Eq, z, Operand::ConstI(0))
+                    }
+                    ETy::I => self.b.icmp(IPred::Eq, v, Operand::ConstI(0)),
+                    ETy::F => self.b.fcmp(FPred::Oeq, v, Operand::ConstF(0.0)),
+                };
+                (b, ETy::B)
+            }
+            Expr::Bin(op, l, r, line) => self.lower_bin(*op, l, r, *line)?,
+            Expr::Call(name, args, line) => self.lower_call(name, args, *line)?,
+        })
+    }
+
+    fn lower_bin(&mut self, op: BinOp, l: &Expr, r: &Expr, line: u32) -> Result<(Operand, ETy), FrontError> {
+        let (lv, lt) = self.lower_expr(l)?;
+        let (rv, rt) = self.lower_expr(r)?;
+
+        if matches!(op, BinOp::LAnd | BinOp::LOr) {
+            let lb = self.bool_of(lv, lt);
+            let rb = self.bool_of(rv, rt);
+            let li = self.b.cast(CastOp::I1ToI64, lb);
+            let ri = self.b.cast(CastOp::I1ToI64, rb);
+            let o = if op == BinOp::LAnd { IBinOp::And } else { IBinOp::Or };
+            let v = self.b.ibin(o, li, ri);
+            let b = self.b.icmp(IPred::Ne, v, Operand::ConstI(0));
+            return Ok((b, ETy::B));
+        }
+
+        let float = lt == ETy::F || rt == ETy::F;
+        if op.is_cmp() {
+            return Ok(if float {
+                let lf = self.to_f(lv, lt);
+                let rf = self.to_f(rv, rt);
+                (self.b.fcmp(fpred(op), lf, rf), ETy::B)
+            } else {
+                let li = self.to_i(lv, lt);
+                let ri = self.to_i(rv, rt);
+                (self.b.icmp(ipred(op), li, ri), ETy::B)
+            });
+        }
+
+        if float {
+            let fop = match op {
+                BinOp::Add => FBinOp::Add,
+                BinOp::Sub => FBinOp::Sub,
+                BinOp::Mul => FBinOp::Mul,
+                BinOp::Div => FBinOp::Div,
+                _ => return self.err(line, format!("operator {op:?} requires integer operands")),
+            };
+            let lf = self.to_f(lv, lt);
+            let rf = self.to_f(rv, rt);
+            return Ok((self.b.fbin(fop, lf, rf), ETy::F));
+        }
+
+        let iop = match op {
+            BinOp::Add => IBinOp::Add,
+            BinOp::Sub => IBinOp::Sub,
+            BinOp::Mul => IBinOp::Mul,
+            BinOp::Div => IBinOp::Div,
+            BinOp::Rem => IBinOp::Rem,
+            BinOp::And => IBinOp::And,
+            BinOp::Or => IBinOp::Or,
+            BinOp::Xor => IBinOp::Xor,
+            BinOp::Shl => IBinOp::Shl,
+            BinOp::Shr => IBinOp::AShr,
+            _ => unreachable!(),
+        };
+        let li = self.to_i(lv, lt);
+        let ri = self.to_i(rv, rt);
+        Ok((self.b.ibin(iop, li, ri), ETy::I))
+    }
+
+    fn bool_of(&mut self, v: Operand, t: ETy) -> Operand {
+        match t {
+            ETy::B => v,
+            ETy::I => self.b.icmp(IPred::Ne, v, Operand::ConstI(0)),
+            ETy::F => self.b.fcmp(FPred::One, v, Operand::ConstF(0.0)),
+        }
+    }
+
+    fn lower_call(&mut self, name: &str, args: &[Expr], line: u32) -> Result<(Operand, ETy), FrontError> {
+        // Builtins first.
+        let builtin1: Option<Intrinsic> = match name {
+            "sqrt" => Some(Intrinsic::Sqrt),
+            "fabs" => Some(Intrinsic::Fabs),
+            "exp" => Some(Intrinsic::Exp),
+            "log" => Some(Intrinsic::Log),
+            "sin" => Some(Intrinsic::Sin),
+            "cos" => Some(Intrinsic::Cos),
+            "floor" => Some(Intrinsic::Floor),
+            _ => None,
+        };
+        if let Some(which) = builtin1 {
+            if args.len() != 1 {
+                return self.err(line, format!("{name} takes one argument"));
+            }
+            let (v, t) = self.lower_expr(&args[0])?;
+            let vf = self.to_f(v, t);
+            return Ok((self.b.intrinsic(which, vec![vf]).unwrap(), ETy::F));
+        }
+        let builtin2: Option<Intrinsic> = match name {
+            "pow" => Some(Intrinsic::Pow),
+            "fmin" => Some(Intrinsic::Fmin),
+            "fmax" => Some(Intrinsic::Fmax),
+            _ => None,
+        };
+        if let Some(which) = builtin2 {
+            if args.len() != 2 {
+                return self.err(line, format!("{name} takes two arguments"));
+            }
+            let (a, at) = self.lower_expr(&args[0])?;
+            let af = self.to_f(a, at);
+            let (b2, bt) = self.lower_expr(&args[1])?;
+            let bf = self.to_f(b2, bt);
+            return Ok((self.b.intrinsic(which, vec![af, bf]).unwrap(), ETy::F));
+        }
+        match name {
+            "int" => {
+                if args.len() != 1 {
+                    return self.err(line, "int() takes one argument");
+                }
+                let (v, t) = self.lower_expr(&args[0])?;
+                return Ok((self.to_i(v, t), ETy::I));
+            }
+            "float" => {
+                if args.len() != 1 {
+                    return self.err(line, "float() takes one argument");
+                }
+                let (v, t) = self.lower_expr(&args[0])?;
+                return Ok((self.to_f(v, t), ETy::F));
+            }
+            "print_i" => {
+                if args.len() != 1 {
+                    return self.err(line, "print_i() takes one argument");
+                }
+                let (v, t) = self.lower_expr(&args[0])?;
+                let vi = self.to_i(v, t);
+                self.b.intrinsic(Intrinsic::PrintI64, vec![vi]);
+                return Ok((Operand::ConstI(0), ETy::I));
+            }
+            "print_f" => {
+                if args.len() != 1 {
+                    return self.err(line, "print_f() takes one argument");
+                }
+                let (v, t) = self.lower_expr(&args[0])?;
+                let vf = self.to_f(v, t);
+                self.b.intrinsic(Intrinsic::PrintF64, vec![vf]);
+                return Ok((Operand::ConstI(0), ETy::I));
+            }
+            _ => {}
+        }
+        // User function.
+        let (fid, ptys, rty) = self
+            .sigs
+            .get(name)
+            .cloned()
+            .ok_or_else(|| FrontError { line, msg: format!("unknown function `{name}`") })?;
+        if ptys.len() != args.len() {
+            return self.err(
+                line,
+                format!("`{name}` expects {} arguments, got {}", ptys.len(), args.len()),
+            );
+        }
+        let mut avs = Vec::with_capacity(args.len());
+        for (a, pt) in args.iter().zip(&ptys) {
+            let (v, t) = self.lower_expr(a)?;
+            avs.push(match pt {
+                TypeAnn::Float => self.to_f(v, t),
+                TypeAnn::Int => self.to_i(v, t),
+            });
+        }
+        let ret = self.b.call(fid, avs, Some(ir_ty(rty))).unwrap();
+        Ok((ret, if rty == TypeAnn::Float { ETy::F } else { ETy::I }))
+    }
+}
+
+fn ipred(op: BinOp) -> IPred {
+    match op {
+        BinOp::Eq => IPred::Eq,
+        BinOp::Ne => IPred::Ne,
+        BinOp::Lt => IPred::Slt,
+        BinOp::Le => IPred::Sle,
+        BinOp::Gt => IPred::Sgt,
+        BinOp::Ge => IPred::Sge,
+        _ => unreachable!("not a comparison"),
+    }
+}
+
+fn fpred(op: BinOp) -> FPred {
+    match op {
+        BinOp::Eq => FPred::Oeq,
+        BinOp::Ne => FPred::One,
+        BinOp::Lt => FPred::Olt,
+        BinOp::Le => FPred::Ole,
+        BinOp::Gt => FPred::Ogt,
+        BinOp::Ge => FPred::Oge,
+        _ => unreachable!("not a comparison"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{lex, parse};
+    use refine_ir::interp::Interp;
+
+    fn exec(src: &str) -> i64 {
+        let m = lower_program(&parse(&lex(src).unwrap()).unwrap()).unwrap();
+        refine_ir::verify::verify_module(&m).expect("verifies");
+        Interp::new(&m, 10_000_000).run().expect("runs").exit_code
+    }
+
+    #[test]
+    fn nested_control_flow() {
+        let r = exec(
+            "fn main() {\n\
+               let s = 0;\n\
+               for (i = 0; i < 10; i = i + 1) {\n\
+                 if (i % 3 == 0) { s = s + i * 10; } else { s = s - 1; }\n\
+               }\n\
+               return s;\n\
+             }",
+        );
+        // i=0,3,6,9 add 0+30+60+90=180; other 6 iterations subtract 6.
+        assert_eq!(r, 174);
+    }
+
+    #[test]
+    fn while_and_logical_ops() {
+        let r = exec(
+            "fn main() { let n = 0; let x = 1; while (x < 100 && n < 20) { x = x * 2; n = n + 1; } return n; }",
+        );
+        assert_eq!(r, 7); // 2^7 = 128 >= 100
+    }
+
+    #[test]
+    fn recursion() {
+        let r = exec("fn fact(n) { if (n <= 1) { return 1; } return n * fact(n - 1); } fn main() { return fact(10); }");
+        assert_eq!(r, 3628800);
+    }
+
+    #[test]
+    fn float_functions_and_promotion() {
+        let r = exec(
+            "fn norm(a: float, b: float): float { return sqrt(a * a + b * b); }\n\
+             fn main() { return int(norm(3.0, 4)); }",
+        );
+        assert_eq!(r, 5);
+    }
+
+    #[test]
+    fn shadowing_in_blocks() {
+        let r = exec(
+            "fn main() { let x = 1; if (1) { let x = 50; x = x + 1; } return x; }",
+        );
+        assert_eq!(r, 1, "inner let shadows, outer unchanged");
+    }
+
+    #[test]
+    fn early_return_dead_code() {
+        let r = exec("fn main() { return 9; let x = 1; return x; }");
+        assert_eq!(r, 9);
+    }
+
+    #[test]
+    fn both_arms_return() {
+        let r = exec("fn f(x) { if (x > 0) { return 1; } else { return 2; } } fn main() { return f(0-5); }");
+        assert_eq!(r, 2);
+    }
+
+    #[test]
+    fn arrays_decay_is_not_supported_in_calls() {
+        // Arrays may be read via index only; passing names around is just an
+        // address (documented behaviour).
+        let r = exec(
+            "var a[4];\n\
+             fn main() { a[2] = 42; let p = a; return a[2]; }",
+        );
+        assert_eq!(r, 42);
+    }
+
+    #[test]
+    fn unary_not_and_neg() {
+        let r = exec("fn main() { let x = 0 - 7; if (!(x == 0-7)) { return 1; } return -x; }");
+        assert_eq!(r, 7);
+    }
+
+    #[test]
+    fn type_errors_reported() {
+        let src = "fn main() { let x: float = 1.0; return x % 2; }";
+        let err = lower_program(&parse(&lex(src).unwrap()).unwrap()).unwrap_err();
+        assert!(err.msg.contains("integer"), "{err}");
+    }
+}

@@ -1,0 +1,476 @@
+//! Recursive-descent parser for MiniLang.
+
+use crate::ast::*;
+use crate::lexer::{Token, TokenKind};
+use crate::FrontError;
+
+/// Parse a token stream into a program.
+pub fn parse(tokens: &[Token]) -> Result<Program, FrontError> {
+    let mut p = Parser { toks: tokens, pos: 0 };
+    p.program()
+}
+
+struct Parser<'a> {
+    toks: &'a [Token],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> &TokenKind {
+        &self.toks[self.pos].kind
+    }
+
+    fn line(&self) -> u32 {
+        self.toks[self.pos].line
+    }
+
+    fn bump(&mut self) -> &TokenKind {
+        let k = &self.toks[self.pos].kind;
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        k
+    }
+
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T, FrontError> {
+        Err(FrontError { line: self.line(), msg: msg.into() })
+    }
+
+    fn eat_punct(&mut self, p: &str) -> Result<(), FrontError> {
+        match self.peek() {
+            TokenKind::Punct(q) if *q == p => {
+                self.bump();
+                Ok(())
+            }
+            other => self.err(format!("expected `{p}`, found {other:?}")),
+        }
+    }
+
+    fn at_punct(&self, p: &str) -> bool {
+        matches!(self.peek(), TokenKind::Punct(q) if *q == p)
+    }
+
+    fn eat_ident(&mut self) -> Result<String, FrontError> {
+        match self.peek().clone() {
+            TokenKind::Ident(s) => {
+                self.bump();
+                Ok(s)
+            }
+            other => self.err(format!("expected identifier, found {other:?}")),
+        }
+    }
+
+    fn at_kw(&self, kw: &str) -> bool {
+        matches!(self.peek(), TokenKind::Ident(s) if s == kw)
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> Result<(), FrontError> {
+        if self.at_kw(kw) {
+            self.bump();
+            Ok(())
+        } else {
+            self.err(format!("expected `{kw}`"))
+        }
+    }
+
+    fn program(&mut self) -> Result<Program, FrontError> {
+        let mut prog = Program::default();
+        loop {
+            match self.peek() {
+                TokenKind::Eof => break,
+                TokenKind::Ident(s) if s == "var" || s == "fvar" => {
+                    let is_float = s == "fvar";
+                    let line = self.line();
+                    self.bump();
+                    let name = self.eat_ident()?;
+                    let (words, is_array) = if self.at_punct("[") {
+                        self.bump();
+                        let n = match self.bump().clone() {
+                            TokenKind::Int(n) if n > 0 => n as u32,
+                            _ => return self.err("array size must be a positive integer"),
+                        };
+                        self.eat_punct("]")?;
+                        (n, true)
+                    } else {
+                        (1, false)
+                    };
+                    self.eat_punct(";")?;
+                    prog.globals.push(GlobalDef { name, words, is_float, is_array, line });
+                }
+                TokenKind::Ident(s) if s == "fn" => {
+                    prog.funcs.push(self.fn_def()?);
+                }
+                other => return self.err(format!("expected `fn`, `var` or `fvar`, found {other:?}")),
+            }
+        }
+        Ok(prog)
+    }
+
+    fn type_ann(&mut self) -> Result<TypeAnn, FrontError> {
+        let name = self.eat_ident()?;
+        match name.as_str() {
+            "int" => Ok(TypeAnn::Int),
+            "float" => Ok(TypeAnn::Float),
+            other => self.err(format!("unknown type `{other}`")),
+        }
+    }
+
+    fn fn_def(&mut self) -> Result<FnDef, FrontError> {
+        let line = self.line();
+        self.eat_kw("fn")?;
+        let name = self.eat_ident()?;
+        self.eat_punct("(")?;
+        let mut params = Vec::new();
+        while !self.at_punct(")") {
+            if !params.is_empty() {
+                self.eat_punct(",")?;
+            }
+            let pname = self.eat_ident()?;
+            let ty = if self.at_punct(":") {
+                self.bump();
+                self.type_ann()?
+            } else {
+                TypeAnn::Int
+            };
+            params.push((pname, ty));
+        }
+        self.eat_punct(")")?;
+        let ret = if self.at_punct(":") || self.at_punct("->") {
+            self.bump();
+            self.type_ann()?
+        } else {
+            TypeAnn::Int
+        };
+        let body = self.block()?;
+        Ok(FnDef { name, params, ret, body, line })
+    }
+
+    fn block(&mut self) -> Result<Vec<Stmt>, FrontError> {
+        self.eat_punct("{")?;
+        let mut stmts = Vec::new();
+        while !self.at_punct("}") {
+            stmts.push(self.stmt()?);
+        }
+        self.eat_punct("}")?;
+        Ok(stmts)
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, FrontError> {
+        let line = self.line();
+        if self.at_kw("let") {
+            self.bump();
+            let name = self.eat_ident()?;
+            let ann = if self.at_punct(":") {
+                self.bump();
+                Some(self.type_ann()?)
+            } else {
+                None
+            };
+            self.eat_punct("=")?;
+            // Stack arrays: `let a = array(N);` / `farray(N)`.
+            if let TokenKind::Ident(f) = self.peek().clone() {
+                if (f == "array" || f == "farray")
+                    && matches!(self.toks.get(self.pos + 1).map(|t| &t.kind), Some(TokenKind::Punct("(")))
+                {
+                    self.bump();
+                    self.bump();
+                    let n = match self.bump().clone() {
+                        TokenKind::Int(n) if n > 0 => n as u32,
+                        _ => return self.err("array size must be a positive integer"),
+                    };
+                    self.eat_punct(")")?;
+                    self.eat_punct(";")?;
+                    return Ok(Stmt::LetArr(name, n, f == "farray", line));
+                }
+            }
+            let e = self.expr()?;
+            self.eat_punct(";")?;
+            return Ok(Stmt::Let(name, ann, e, line));
+        }
+        if self.at_kw("if") {
+            self.bump();
+            self.eat_punct("(")?;
+            let c = self.expr()?;
+            self.eat_punct(")")?;
+            let then = self.block()?;
+            let els = if self.at_kw("else") {
+                self.bump();
+                if self.at_kw("if") {
+                    vec![self.stmt()?]
+                } else {
+                    self.block()?
+                }
+            } else {
+                vec![]
+            };
+            return Ok(Stmt::If(c, then, els, line));
+        }
+        if self.at_kw("while") {
+            self.bump();
+            self.eat_punct("(")?;
+            let c = self.expr()?;
+            self.eat_punct(")")?;
+            let body = self.block()?;
+            return Ok(Stmt::While(c, body, line));
+        }
+        if self.at_kw("for") {
+            self.bump();
+            self.eat_punct("(")?;
+            let init = self.simple_assign()?;
+            self.eat_punct(";")?;
+            let c = self.expr()?;
+            self.eat_punct(";")?;
+            let step = self.simple_assign()?;
+            self.eat_punct(")")?;
+            let body = self.block()?;
+            return Ok(Stmt::For(Box::new(init), c, Box::new(step), body, line));
+        }
+        if self.at_kw("return") {
+            self.bump();
+            if self.at_punct(";") {
+                self.bump();
+                return Ok(Stmt::Return(None, line));
+            }
+            let e = self.expr()?;
+            self.eat_punct(";")?;
+            return Ok(Stmt::Return(Some(e), line));
+        }
+        if self.at_kw("print_s") {
+            self.bump();
+            self.eat_punct("(")?;
+            let s = match self.bump().clone() {
+                TokenKind::Str(s) => s,
+                _ => return self.err("print_s takes a string literal"),
+            };
+            self.eat_punct(")")?;
+            self.eat_punct(";")?;
+            return Ok(Stmt::PrintStr(s, line));
+        }
+        // Assignment or expression statement.
+        if let TokenKind::Ident(name) = self.peek().clone() {
+            let next = self.toks.get(self.pos + 1).map(|t| &t.kind);
+            if matches!(next, Some(TokenKind::Punct("="))) {
+                self.bump();
+                self.bump();
+                let e = self.expr()?;
+                self.eat_punct(";")?;
+                return Ok(Stmt::Assign(name, e, line));
+            }
+            if matches!(next, Some(TokenKind::Punct("["))) {
+                // Could be `a[i] = e;` or an expression like `a[i] + 1;`
+                // (the latter is useless; treat `[` after ident in statement
+                // position as an indexed assignment).
+                self.bump();
+                self.bump();
+                let idx = self.expr()?;
+                self.eat_punct("]")?;
+                self.eat_punct("=")?;
+                let e = self.expr()?;
+                self.eat_punct(";")?;
+                return Ok(Stmt::AssignIdx(name, idx, e, line));
+            }
+        }
+        let e = self.expr()?;
+        self.eat_punct(";")?;
+        Ok(Stmt::Expr(e, line))
+    }
+
+    /// `name = expr` or `name[idx] = expr` without the trailing `;`
+    /// (for-loop headers).
+    fn simple_assign(&mut self) -> Result<Stmt, FrontError> {
+        let line = self.line();
+        let name = self.eat_ident()?;
+        if self.at_punct("[") {
+            self.bump();
+            let idx = self.expr()?;
+            self.eat_punct("]")?;
+            self.eat_punct("=")?;
+            let e = self.expr()?;
+            return Ok(Stmt::AssignIdx(name, idx, e, line));
+        }
+        self.eat_punct("=")?;
+        let e = self.expr()?;
+        Ok(Stmt::Assign(name, e, line))
+    }
+
+    // Expression precedence (low to high):
+    //   || ; && ; | ; ^ ; & ; == != ; < <= > >= ; << >> ; + - ; * / % ; unary
+    fn expr(&mut self) -> Result<Expr, FrontError> {
+        self.bin_level(0)
+    }
+
+    fn bin_level(&mut self, level: usize) -> Result<Expr, FrontError> {
+        const LEVELS: [&[(&str, BinOp)]; 10] = [
+            &[("||", BinOp::LOr)],
+            &[("&&", BinOp::LAnd)],
+            &[("|", BinOp::Or)],
+            &[("^", BinOp::Xor)],
+            &[("&", BinOp::And)],
+            &[("==", BinOp::Eq), ("!=", BinOp::Ne)],
+            &[("<=", BinOp::Le), (">=", BinOp::Ge), ("<", BinOp::Lt), (">", BinOp::Gt)],
+            &[("<<", BinOp::Shl), (">>", BinOp::Shr)],
+            &[("+", BinOp::Add), ("-", BinOp::Sub)],
+            &[("*", BinOp::Mul), ("/", BinOp::Div), ("%", BinOp::Rem)],
+        ];
+        if level == LEVELS.len() {
+            return self.unary();
+        }
+        let mut lhs = self.bin_level(level + 1)?;
+        loop {
+            let mut matched = None;
+            if let TokenKind::Punct(p) = self.peek() {
+                for (sym, op) in LEVELS[level] {
+                    if p == sym {
+                        matched = Some(*op);
+                        break;
+                    }
+                }
+            }
+            match matched {
+                Some(op) => {
+                    let line = self.line();
+                    self.bump();
+                    let rhs = self.bin_level(level + 1)?;
+                    lhs = Expr::Bin(op, Box::new(lhs), Box::new(rhs), line);
+                }
+                None => return Ok(lhs),
+            }
+        }
+    }
+
+    fn unary(&mut self) -> Result<Expr, FrontError> {
+        let line = self.line();
+        if self.at_punct("-") {
+            self.bump();
+            let e = self.unary()?;
+            return Ok(Expr::Neg(Box::new(e), line));
+        }
+        if self.at_punct("!") {
+            self.bump();
+            let e = self.unary()?;
+            return Ok(Expr::Not(Box::new(e), line));
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<Expr, FrontError> {
+        let line = self.line();
+        match self.peek().clone() {
+            TokenKind::Int(n) => {
+                self.bump();
+                Ok(Expr::Int(n, line))
+            }
+            TokenKind::Float(x) => {
+                self.bump();
+                Ok(Expr::Float(x, line))
+            }
+            TokenKind::Punct("(") => {
+                self.bump();
+                let e = self.expr()?;
+                self.eat_punct(")")?;
+                Ok(e)
+            }
+            TokenKind::Ident(name) => {
+                self.bump();
+                if self.at_punct("(") {
+                    self.bump();
+                    let mut args = Vec::new();
+                    while !self.at_punct(")") {
+                        if !args.is_empty() {
+                            self.eat_punct(",")?;
+                        }
+                        args.push(self.expr()?);
+                    }
+                    self.eat_punct(")")?;
+                    return Ok(Expr::Call(name, args, line));
+                }
+                if self.at_punct("[") {
+                    self.bump();
+                    let idx = self.expr()?;
+                    self.eat_punct("]")?;
+                    return Ok(Expr::Index(name, Box::new(idx), line));
+                }
+                Ok(Expr::Var(name, line))
+            }
+            other => self.err(format!("expected expression, found {other:?}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse_ok(src: &str) -> Program {
+        parse(&lex(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn parses_globals_and_fn() {
+        let p = parse_ok("var seed; fvar grid[64]; fn main() { return 0; }");
+        assert_eq!(p.globals.len(), 2);
+        assert!(p.globals[1].is_float && p.globals[1].is_array);
+        assert_eq!(p.globals[1].words, 64);
+        assert_eq!(p.funcs[0].name, "main");
+    }
+
+    #[test]
+    fn precedence_is_sane() {
+        let p = parse_ok("fn f() { return 1 + 2 * 3 < 4 << 1 && 5 == 5; }");
+        // Shape: ((1 + (2*3)) < (4<<1)) && (5==5)
+        if let Stmt::Return(Some(Expr::Bin(BinOp::LAnd, l, _, _)), _) = &p.funcs[0].body[0] {
+            assert!(matches!(**l, Expr::Bin(BinOp::Lt, _, _, _)));
+        } else {
+            panic!("bad parse shape");
+        }
+    }
+
+    #[test]
+    fn parses_control_flow() {
+        let p = parse_ok(
+            "fn f(n) { let s = 0; for (i = 0; i < n; i = i + 1) { if (i % 2 == 0) { s = s + i; } else { s = s - 1; } } while (s > 100) { s = s / 2; } return s; }",
+        );
+        assert_eq!(p.funcs[0].params.len(), 1);
+        assert!(matches!(p.funcs[0].body[1], Stmt::For(..)));
+        assert!(matches!(p.funcs[0].body[2], Stmt::While(..)));
+    }
+
+    #[test]
+    fn parses_typed_params_and_ret() {
+        let p = parse_ok("fn f(a: float, b) : float { return a; }");
+        assert_eq!(p.funcs[0].params[0].1, TypeAnn::Float);
+        assert_eq!(p.funcs[0].params[1].1, TypeAnn::Int);
+        assert_eq!(p.funcs[0].ret, TypeAnn::Float);
+    }
+
+    #[test]
+    fn parses_arrays_and_indexing() {
+        let p = parse_ok("fn f() { let a = farray(8); a[0] = 1.5; let x: float = a[0] * 2.0; return int(x); }");
+        assert!(matches!(p.funcs[0].body[0], Stmt::LetArr(_, 8, true, _)));
+        assert!(matches!(p.funcs[0].body[1], Stmt::AssignIdx(..)));
+    }
+
+    #[test]
+    fn else_if_chains() {
+        let p = parse_ok("fn f(x) { if (x > 2) { return 2; } else if (x > 1) { return 1; } else { return 0; } }");
+        if let Stmt::If(_, _, els, _) = &p.funcs[0].body[0] {
+            assert!(matches!(els[0], Stmt::If(..)));
+        } else {
+            panic!("bad shape");
+        }
+    }
+
+    #[test]
+    fn unary_operators() {
+        let p = parse_ok("fn f(x) { return -x + !0; }");
+        assert!(matches!(p.funcs[0].body[0], Stmt::Return(Some(_), _)));
+    }
+
+    #[test]
+    fn reports_errors_with_lines() {
+        let toks = lex("fn f() {\n  let = 3;\n}").unwrap();
+        let err = parse(&toks).unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+}

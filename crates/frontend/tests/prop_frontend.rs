@@ -1,0 +1,73 @@
+//! Frontend robustness: the lexer/parser/lowerer must never panic — every
+//! input either compiles to verified IR or returns a diagnostic with a line
+//! number.
+
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary byte soup never panics the frontend.
+    #[test]
+    fn prop_no_panic_on_arbitrary_input(src in "\\PC{0,200}") {
+        let _ = refine_frontend::compile_source(&src);
+    }
+
+    /// Token-shaped soup (identifiers, numbers, punctuation) never panics.
+    #[test]
+    fn prop_no_panic_on_token_soup(
+        toks in proptest::collection::vec(
+            prop_oneof![
+                Just("fn".to_string()),
+                Just("let".to_string()),
+                Just("if".to_string()),
+                Just("while".to_string()),
+                Just("for".to_string()),
+                Just("return".to_string()),
+                Just("var".to_string()),
+                Just("fvar".to_string()),
+                Just("(".to_string()),
+                Just(")".to_string()),
+                Just("{".to_string()),
+                Just("}".to_string()),
+                Just("[".to_string()),
+                Just("]".to_string()),
+                Just(";".to_string()),
+                Just("=".to_string()),
+                Just("+".to_string()),
+                Just("x".to_string()),
+                Just("main".to_string()),
+                Just("1".to_string()),
+                Just("2.5".to_string()),
+            ],
+            0..60,
+        )
+    ) {
+        let src = toks.join(" ");
+        let _ = refine_frontend::compile_source(&src);
+    }
+
+    /// Well-formed single-function programs always verify when they compile.
+    #[test]
+    fn prop_compiled_programs_verify(
+        n in 1i64..50,
+        k in 1i64..20,
+        use_float in any::<bool>(),
+    ) {
+        let body = if use_float {
+            format!(
+                "let s: float = 0.0; for (i = 0; i < {n}; i = i + 1) {{ s = s + float(i) * {k}.5; }} print_f(s); return int(s);"
+            )
+        } else {
+            format!(
+                "let s = 0; for (i = 0; i < {n}; i = i + 1) {{ s = s + i * {k}; }} print_i(s); return s;"
+            )
+        };
+        let src = format!("fn main() {{ {body} }}");
+        let m = refine_frontend::compile_source(&src).expect("well-formed program compiles");
+        refine_ir::verify::verify_module(&m).expect("compiled module verifies");
+        // And it runs without trapping.
+        let r = refine_ir::interp::Interp::new(&m, 1_000_000).run().expect("runs");
+        prop_assert!(r.output.len() == 1);
+    }
+}

@@ -1,0 +1,196 @@
+//! Dominator tree and dominance frontiers (Cooper–Harvey–Kennedy).
+//!
+//! Used by `mem2reg` for SSA construction. Unreachable blocks are ignored.
+
+use crate::module::{BlockId, Function};
+
+/// Immediate-dominator tree plus dominance frontiers for one function.
+#[derive(Debug, Clone)]
+pub struct DomTree {
+    /// `idom[b]` — immediate dominator of block `b`; the entry dominates
+    /// itself. `None` for unreachable blocks.
+    pub idom: Vec<Option<BlockId>>,
+    /// Dominance frontier of each block.
+    pub frontier: Vec<Vec<BlockId>>,
+    /// Children in the dominator tree.
+    pub children: Vec<Vec<BlockId>>,
+    /// Reverse postorder of reachable blocks.
+    pub rpo: Vec<BlockId>,
+}
+
+impl DomTree {
+    /// Compute dominators and frontiers for `f`.
+    pub fn compute(f: &Function) -> DomTree {
+        let n = f.blocks.len();
+        let rpo = f.reverse_postorder();
+        let mut rpo_num = vec![usize::MAX; n];
+        for (i, b) in rpo.iter().enumerate() {
+            rpo_num[b.index()] = i;
+        }
+        let preds = f.predecessors();
+
+        let mut idom: Vec<Option<BlockId>> = vec![None; n];
+        idom[0] = Some(BlockId(0));
+
+        // Iterate to fixpoint over reverse postorder (CHK).
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in rpo.iter().skip(1) {
+                let mut new_idom: Option<BlockId> = None;
+                for &p in &preds[b.index()] {
+                    if rpo_num[p.index()] == usize::MAX || idom[p.index()].is_none() {
+                        continue; // unreachable or not yet processed
+                    }
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(cur) => intersect(&idom, &rpo_num, p, cur),
+                    });
+                }
+                if let Some(ni) = new_idom {
+                    if idom[b.index()] != Some(ni) {
+                        idom[b.index()] = Some(ni);
+                        changed = true;
+                    }
+                }
+            }
+        }
+
+        // Dominance frontiers.
+        let mut frontier = vec![vec![]; n];
+        for &b in &rpo {
+            if preds[b.index()].len() >= 2 {
+                for &p in &preds[b.index()] {
+                    if rpo_num[p.index()] == usize::MAX {
+                        continue;
+                    }
+                    let mut runner = p;
+                    while Some(runner) != idom[b.index()] {
+                        if !frontier[runner.index()].contains(&b) {
+                            frontier[runner.index()].push(b);
+                        }
+                        match idom[runner.index()] {
+                            // idom[entry] == entry: stop there to avoid spinning.
+                            Some(r) if r != runner => runner = r,
+                            _ => break,
+                        }
+                    }
+                }
+            }
+        }
+
+        // Dominator-tree children.
+        let mut children = vec![vec![]; n];
+        for &b in rpo.iter().skip(1) {
+            if let Some(p) = idom[b.index()] {
+                children[p.index()].push(b);
+            }
+        }
+
+        DomTree { idom, frontier, children, rpo }
+    }
+
+    /// Does `a` dominate `b`? (Walks idom chain; both must be reachable.)
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            match self.idom[cur.index()] {
+                Some(p) if p != cur => cur = p,
+                _ => return false,
+            }
+        }
+    }
+}
+
+fn intersect(
+    idom: &[Option<BlockId>],
+    rpo_num: &[usize],
+    mut a: BlockId,
+    mut b: BlockId,
+) -> BlockId {
+    while a != b {
+        while rpo_num[a.index()] > rpo_num[b.index()] {
+            a = idom[a.index()].expect("idom chain broken");
+        }
+        while rpo_num[b.index()] > rpo_num[a.index()] {
+            b = idom[b.index()].expect("idom chain broken");
+        }
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::{Operand, Terminator};
+    use crate::module::Function;
+
+    /// Build the classic diamond: 0 -> {1,2} -> 3.
+    fn diamond() -> Function {
+        let mut f = Function::new("d", vec![], None);
+        let b1 = f.add_block("t");
+        let b2 = f.add_block("f");
+        let b3 = f.add_block("join");
+        f.block_mut(BlockId(0)).term =
+            Some(Terminator::CondBr { cond: Operand::ConstI(1), t: b1, f: b2 });
+        f.block_mut(b1).term = Some(Terminator::Br(b3));
+        f.block_mut(b2).term = Some(Terminator::Br(b3));
+        f.block_mut(b3).term = Some(Terminator::Ret(None));
+        f
+    }
+
+    #[test]
+    fn diamond_idoms() {
+        let f = diamond();
+        let dt = DomTree::compute(&f);
+        assert_eq!(dt.idom[1], Some(BlockId(0)));
+        assert_eq!(dt.idom[2], Some(BlockId(0)));
+        assert_eq!(dt.idom[3], Some(BlockId(0)));
+        assert!(dt.dominates(BlockId(0), BlockId(3)));
+        assert!(!dt.dominates(BlockId(1), BlockId(3)));
+    }
+
+    #[test]
+    fn diamond_frontiers() {
+        let f = diamond();
+        let dt = DomTree::compute(&f);
+        assert_eq!(dt.frontier[1], vec![BlockId(3)]);
+        assert_eq!(dt.frontier[2], vec![BlockId(3)]);
+        assert!(dt.frontier[0].is_empty());
+        assert!(dt.frontier[3].is_empty());
+    }
+
+    #[test]
+    fn loop_frontier_contains_header() {
+        // 0 -> 1 (header) -> 2 (body) -> 1, 1 -> 3 (exit)
+        let mut f = Function::new("l", vec![], None);
+        let h = f.add_block("h");
+        let b = f.add_block("b");
+        let e = f.add_block("e");
+        f.block_mut(BlockId(0)).term = Some(Terminator::Br(h));
+        f.block_mut(h).term =
+            Some(Terminator::CondBr { cond: Operand::ConstI(1), t: b, f: e });
+        f.block_mut(b).term = Some(Terminator::Br(h));
+        f.block_mut(e).term = Some(Terminator::Ret(None));
+        let dt = DomTree::compute(&f);
+        assert_eq!(dt.idom[b.index()], Some(h));
+        assert_eq!(dt.idom[e.index()], Some(h));
+        // The body's frontier is the loop header itself.
+        assert_eq!(dt.frontier[b.index()], vec![h]);
+        assert!(dt.frontier[h.index()].contains(&h));
+    }
+
+    #[test]
+    fn unreachable_blocks_ignored() {
+        let mut f = Function::new("u", vec![], None);
+        let dead = f.add_block("dead");
+        f.block_mut(BlockId(0)).term = Some(Terminator::Ret(None));
+        f.block_mut(dead).term = Some(Terminator::Ret(None));
+        let dt = DomTree::compute(&f);
+        assert_eq!(dt.idom[dead.index()], None);
+        assert_eq!(dt.rpo.len(), 1);
+    }
+}

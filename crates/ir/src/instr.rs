@@ -1,0 +1,556 @@
+//! The IR instruction set.
+
+use crate::module::{BlockId, FuncId, GlobalId, StrId, Ty, ValueId};
+
+/// An instruction operand: an SSA value, an immediate constant, or the
+/// address of a global.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Operand {
+    /// An SSA value defined by a parameter or an earlier instruction.
+    Value(ValueId),
+    /// Integer (or boolean / pointer-offset) immediate.
+    ConstI(i64),
+    /// Floating-point immediate.
+    ConstF(f64),
+    /// Address of a module global.
+    Global(GlobalId),
+}
+
+impl Operand {
+    /// The SSA value referenced by this operand, if any.
+    pub fn as_value(&self) -> Option<ValueId> {
+        match self {
+            Operand::Value(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// True when the operand is a compile-time constant.
+    pub fn is_const(&self) -> bool {
+        matches!(self, Operand::ConstI(_) | Operand::ConstF(_))
+    }
+}
+
+/// Integer binary operations. Division and remainder trap on a zero divisor,
+/// mirroring the machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IBinOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Signed division; traps on divide-by-zero and `i64::MIN / -1`.
+    Div,
+    /// Signed remainder; traps like [`IBinOp::Div`].
+    Rem,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise xor.
+    Xor,
+    /// Shift left; shift amount is masked to 6 bits like the machine.
+    /// Shift left; shift amount is masked to 6 bits like the machine.
+    Shl,
+    /// Logical shift right (mask 6 bits).
+    /// Logical shift right.
+    LShr,
+    /// Arithmetic shift right (mask 6 bits).
+    /// Arithmetic shift right.
+    AShr,
+}
+
+/// Floating-point binary operations (IEEE-754, no traps; division by zero
+/// produces infinities/NaNs exactly like hardware).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FBinOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Division.
+    Div,
+}
+
+/// Signed integer comparison predicates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IPred {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Signed less-than.
+    Slt,
+    /// Signed less-or-equal.
+    Sle,
+    /// Signed greater-than.
+    Sgt,
+    /// Signed greater-or-equal.
+    Sge,
+}
+
+/// Ordered floating-point comparison predicates (false on NaN).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FPred {
+    /// Ordered equal.
+    Oeq,
+    /// Ordered not-equal.
+    One,
+    /// Ordered less-than.
+    Olt,
+    /// Ordered less-or-equal.
+    Ole,
+    /// Ordered greater-than.
+    Ogt,
+    /// Ordered greater-or-equal.
+    Oge,
+}
+
+/// Value conversions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CastOp {
+    /// Signed 64-bit integer to binary64.
+    SiToF,
+    /// binary64 to signed 64-bit integer, truncating toward zero
+    /// (saturates at the i64 range like x64 `cvttsd2si`'s defined subset).
+    FToSi,
+    /// Zero-extend a boolean to i64.
+    I1ToI64,
+    /// Reinterpret i64 bits as ptr (and vice versa) — no-op at machine level.
+    IntToPtr,
+    /// Reinterpret ptr as i64.
+    PtrToInt,
+    /// Reinterpret i64 bits as f64.
+    BitsToF,
+    /// Reinterpret f64 bits as i64.
+    FToBits,
+}
+
+/// Built-in operations lowered to runtime calls (libm and I/O in the original
+/// programs). These are *calls* from the compiler's perspective: the backend
+/// assigns them call-like register-clobbering semantics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Intrinsic {
+    /// `sqrt(f64) -> f64`
+    Sqrt,
+    /// `fabs(f64) -> f64`
+    Fabs,
+    /// `exp(f64) -> f64`
+    Exp,
+    /// `log(f64) -> f64`
+    Log,
+    /// `sin(f64) -> f64`
+    Sin,
+    /// `cos(f64) -> f64`
+    Cos,
+    /// `floor(f64) -> f64`
+    Floor,
+    /// `pow(f64, f64) -> f64`
+    Pow,
+    /// `fmin(f64, f64) -> f64`
+    Fmin,
+    /// `fmax(f64, f64) -> f64`
+    Fmax,
+    /// Print a 64-bit integer to the program output.
+    PrintI64,
+    /// Print a binary64 to the program output.
+    PrintF64,
+}
+
+impl Intrinsic {
+    /// Number of arguments the intrinsic takes.
+    pub fn arity(self) -> usize {
+        match self {
+            Intrinsic::Pow | Intrinsic::Fmin | Intrinsic::Fmax => 2,
+            _ => 1,
+        }
+    }
+
+    /// Result type, when the intrinsic produces a value.
+    pub fn result_ty(self) -> Option<Ty> {
+        match self {
+            Intrinsic::PrintI64 | Intrinsic::PrintF64 => None,
+            _ => Some(Ty::F64),
+        }
+    }
+
+    /// Symbolic (libm-style) name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Intrinsic::Sqrt => "sqrt",
+            Intrinsic::Fabs => "fabs",
+            Intrinsic::Exp => "exp",
+            Intrinsic::Log => "log",
+            Intrinsic::Sin => "sin",
+            Intrinsic::Cos => "cos",
+            Intrinsic::Floor => "floor",
+            Intrinsic::Pow => "pow",
+            Intrinsic::Fmin => "fmin",
+            Intrinsic::Fmax => "fmax",
+            Intrinsic::PrintI64 => "print_i64",
+            Intrinsic::PrintF64 => "print_f64",
+        }
+    }
+}
+
+/// An IR instruction. Every instruction that produces a value does so into a
+/// fresh SSA value recorded next to it in
+/// [`InstrData`](crate::module::InstrData).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Instr {
+    /// Reserve `words` 8-byte words of stack storage; yields the address.
+    Alloca {
+        /// Size in 8-byte words.
+        words: u32,
+    },
+    /// 8-byte typed load.
+    Load {
+        /// Address operand (must be pointer-typed).
+        addr: Operand,
+        /// Type of the loaded value (`I64`, `F64`, or `Ptr`).
+        ty: Ty,
+    },
+    /// 8-byte typed store.
+    Store {
+        /// Address operand.
+        addr: Operand,
+        /// Value stored.
+        val: Operand,
+        /// Type of the stored value.
+        ty: Ty,
+    },
+    /// Integer binary operation.
+    IBin {
+        /// Operation.
+        op: IBinOp,
+        /// Left operand.
+        a: Operand,
+        /// Right operand.
+        b: Operand,
+    },
+    /// Floating-point binary operation.
+    FBin {
+        /// Operation.
+        op: FBinOp,
+        /// Left operand.
+        a: Operand,
+        /// Right operand.
+        b: Operand,
+    },
+    /// Integer comparison producing an `i1`.
+    ICmp {
+        /// Predicate.
+        pred: IPred,
+        /// Left operand.
+        a: Operand,
+        /// Right operand.
+        b: Operand,
+    },
+    /// Ordered floating-point comparison producing an `i1`.
+    FCmp {
+        /// Predicate.
+        pred: FPred,
+        /// Left operand.
+        a: Operand,
+        /// Right operand.
+        b: Operand,
+    },
+    /// `cond ? a : b`.
+    Select {
+        /// Boolean selector.
+        cond: Operand,
+        /// Value when true.
+        a: Operand,
+        /// Value when false.
+        b: Operand,
+        /// Type of `a`/`b`/result.
+        ty: Ty,
+    },
+    /// Conversion.
+    Cast {
+        /// Kind of conversion.
+        op: CastOp,
+        /// Source value.
+        v: Operand,
+    },
+    /// Address computation: `base + idx * scale + disp` (bytes). The LLVM
+    /// `getelementptr` analogue; the backend folds it into addressing modes,
+    /// which is why IR-level FI never sees this arithmetic as instructions.
+    PtrAdd {
+        /// Base pointer.
+        base: Operand,
+        /// Element index (i64).
+        idx: Operand,
+        /// Byte scale applied to `idx` (usually 8).
+        scale: i64,
+        /// Constant byte displacement.
+        disp: i64,
+    },
+    /// Direct call to another function in the module.
+    Call {
+        /// Callee.
+        func: FuncId,
+        /// Argument operands (types must match the callee's parameters).
+        args: Vec<Operand>,
+    },
+    /// Built-in runtime operation (libm / output).
+    IntrinsicCall {
+        /// Which intrinsic.
+        which: Intrinsic,
+        /// Arguments.
+        args: Vec<Operand>,
+    },
+    /// Print an interned string literal (program banner/labels).
+    PrintStr {
+        /// The literal.
+        s: StrId,
+    },
+    /// An LLFI-style `injectFault` runtime call, inserted only by IR-level
+    /// FI instrumentation (never by frontends). Takes the instrumented
+    /// instruction's result and returns a possibly-bit-flipped copy; lowers
+    /// to a C-ABI runtime call, which is exactly the code-generation
+    /// interference the paper's §3.3.2 describes.
+    LlfiInject {
+        /// Static IR site id.
+        site: u64,
+        /// The instrumented value.
+        val: Operand,
+        /// Value type (determines the flip width: 1 for `i1`, 64 otherwise).
+        ty: Ty,
+    },
+    /// SSA phi: value chosen by predecessor block.
+    Phi {
+        /// `(pred, value)` pairs; must cover every predecessor exactly once.
+        incomings: Vec<(BlockId, Operand)>,
+        /// Result type.
+        ty: Ty,
+    },
+}
+
+impl Instr {
+    /// True for instructions with no side effects (candidates for CSE/DCE).
+    pub fn is_pure(&self) -> bool {
+        matches!(
+            self,
+            Instr::IBin { .. }
+                | Instr::FBin { .. }
+                | Instr::ICmp { .. }
+                | Instr::FCmp { .. }
+                | Instr::Select { .. }
+                | Instr::Cast { .. }
+                | Instr::PtrAdd { .. }
+                | Instr::Phi { .. }
+        )
+    }
+
+    /// True for phi nodes.
+    pub fn is_phi(&self) -> bool {
+        matches!(self, Instr::Phi { .. })
+    }
+
+    /// Result type given a lookup for value types, or `None` when the
+    /// instruction produces no value.
+    pub fn result_ty(&self, ty_of: impl Fn(ValueId) -> Ty, funcs_ret: impl Fn(FuncId) -> Option<Ty>) -> Option<Ty> {
+        match self {
+            Instr::Alloca { .. } => Some(Ty::Ptr),
+            Instr::Load { ty, .. } => Some(*ty),
+            Instr::Store { .. } => None,
+            Instr::IBin { .. } => Some(Ty::I64),
+            Instr::FBin { .. } => Some(Ty::F64),
+            Instr::ICmp { .. } | Instr::FCmp { .. } => Some(Ty::I1),
+            Instr::Select { ty, .. } => Some(*ty),
+            Instr::Cast { op, .. } => Some(match op {
+                CastOp::SiToF | CastOp::BitsToF => Ty::F64,
+                CastOp::FToSi | CastOp::I1ToI64 | CastOp::PtrToInt | CastOp::FToBits => Ty::I64,
+                CastOp::IntToPtr => Ty::Ptr,
+            }),
+            Instr::PtrAdd { .. } => Some(Ty::Ptr),
+            Instr::Call { func, .. } => funcs_ret(*func),
+            Instr::IntrinsicCall { which, .. } => which.result_ty(),
+            Instr::PrintStr { .. } => None,
+            Instr::LlfiInject { ty, .. } => Some(*ty),
+            Instr::Phi { ty, .. } => {
+                let _ = &ty_of; // phi type is explicit
+                Some(*ty)
+            }
+        }
+    }
+
+    /// Visit each operand.
+    pub fn for_each_operand(&self, f: &mut impl FnMut(&Operand)) {
+        match self {
+            Instr::Alloca { .. } | Instr::PrintStr { .. } => {}
+            Instr::Load { addr, .. } => f(addr),
+            Instr::Store { addr, val, .. } => {
+                f(addr);
+                f(val);
+            }
+            Instr::IBin { a, b, .. }
+            | Instr::FBin { a, b, .. }
+            | Instr::ICmp { a, b, .. }
+            | Instr::FCmp { a, b, .. } => {
+                f(a);
+                f(b);
+            }
+            Instr::Select { cond, a, b, .. } => {
+                f(cond);
+                f(a);
+                f(b);
+            }
+            Instr::Cast { v, .. } | Instr::LlfiInject { val: v, .. } => f(v),
+            Instr::PtrAdd { base, idx, .. } => {
+                f(base);
+                f(idx);
+            }
+            Instr::Call { args, .. } | Instr::IntrinsicCall { args, .. } => {
+                for a in args {
+                    f(a);
+                }
+            }
+            Instr::Phi { incomings, .. } => {
+                for (_, op) in incomings {
+                    f(op);
+                }
+            }
+        }
+    }
+
+    /// Mutably visit each operand (used by the renaming passes).
+    pub fn for_each_operand_mut(&mut self, f: &mut impl FnMut(&mut Operand)) {
+        match self {
+            Instr::Alloca { .. } | Instr::PrintStr { .. } => {}
+            Instr::Load { addr, .. } => f(addr),
+            Instr::Store { addr, val, .. } => {
+                f(addr);
+                f(val);
+            }
+            Instr::IBin { a, b, .. }
+            | Instr::FBin { a, b, .. }
+            | Instr::ICmp { a, b, .. }
+            | Instr::FCmp { a, b, .. } => {
+                f(a);
+                f(b);
+            }
+            Instr::Select { cond, a, b, .. } => {
+                f(cond);
+                f(a);
+                f(b);
+            }
+            Instr::Cast { v, .. } | Instr::LlfiInject { val: v, .. } => f(v),
+            Instr::PtrAdd { base, idx, .. } => {
+                f(base);
+                f(idx);
+            }
+            Instr::Call { args, .. } | Instr::IntrinsicCall { args, .. } => {
+                for a in args {
+                    f(a);
+                }
+            }
+            Instr::Phi { incomings, .. } => {
+                for (_, op) in incomings {
+                    f(op);
+                }
+            }
+        }
+    }
+}
+
+/// Block terminators.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Terminator {
+    /// Unconditional branch.
+    Br(BlockId),
+    /// Two-way conditional branch on an `i1`.
+    CondBr {
+        /// Condition operand.
+        cond: Operand,
+        /// Target when true.
+        t: BlockId,
+        /// Target when false.
+        f: BlockId,
+    },
+    /// Return (with a value for non-void functions).
+    Ret(Option<Operand>),
+}
+
+impl Terminator {
+    /// Mutably visit the terminator's operand, if any.
+    pub fn for_each_operand_mut(&mut self, f: &mut impl FnMut(&mut Operand)) {
+        match self {
+            Terminator::CondBr { cond, .. } => f(cond),
+            Terminator::Ret(Some(op)) => f(op),
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn purity() {
+        assert!(Instr::IBin { op: IBinOp::Add, a: Operand::ConstI(1), b: Operand::ConstI(2) }
+            .is_pure());
+        assert!(!Instr::Store {
+            addr: Operand::ConstI(0),
+            val: Operand::ConstI(0),
+            ty: Ty::I64
+        }
+        .is_pure());
+        assert!(!Instr::IntrinsicCall { which: Intrinsic::Sqrt, args: vec![] }.is_pure());
+    }
+
+    #[test]
+    fn operand_visits() {
+        let i = Instr::Select {
+            cond: Operand::Value(ValueId(0)),
+            a: Operand::ConstI(1),
+            b: Operand::ConstF(2.0),
+            ty: Ty::I64,
+        };
+        let mut n = 0;
+        i.for_each_operand(&mut |_| n += 1);
+        assert_eq!(n, 3);
+    }
+
+    #[test]
+    fn intrinsic_metadata() {
+        assert_eq!(Intrinsic::Pow.arity(), 2);
+        assert_eq!(Intrinsic::Sqrt.arity(), 1);
+        assert_eq!(Intrinsic::PrintF64.result_ty(), None);
+        assert_eq!(Intrinsic::Fmax.result_ty(), Some(Ty::F64));
+        assert_eq!(Intrinsic::Sqrt.name(), "sqrt");
+    }
+
+    #[test]
+    fn result_types() {
+        let tyof = |_v: ValueId| Ty::I64;
+        let fret = |_f: FuncId| Some(Ty::F64);
+        assert_eq!(
+            Instr::ICmp { pred: IPred::Eq, a: Operand::ConstI(0), b: Operand::ConstI(0) }
+                .result_ty(tyof, fret),
+            Some(Ty::I1)
+        );
+        assert_eq!(
+            Instr::Cast { op: CastOp::SiToF, v: Operand::ConstI(0) }.result_ty(tyof, fret),
+            Some(Ty::F64)
+        );
+        assert_eq!(
+            Instr::Call { func: FuncId(0), args: vec![] }.result_ty(tyof, fret),
+            Some(Ty::F64)
+        );
+    }
+
+    #[test]
+    fn operand_helpers() {
+        assert_eq!(Operand::Value(ValueId(3)).as_value(), Some(ValueId(3)));
+        assert_eq!(Operand::ConstI(1).as_value(), None);
+        assert!(Operand::ConstF(0.5).is_const());
+        assert!(!Operand::Global(GlobalId(0)).is_const());
+    }
+}

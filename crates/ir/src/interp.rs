@@ -1,0 +1,619 @@
+//! A reference interpreter for the IR.
+//!
+//! The interpreter is the oracle for differential testing: for every
+//! benchmark, `interpret(module) == run(compile(module))` must hold on the
+//! recorded output events. It is also what the campaign uses to produce
+//! golden outputs quickly.
+//!
+//! The memory model intentionally mirrors the machine: globals live in one
+//! flat word-addressed segment, allocas in a stack segment, and any access
+//! outside those segments traps — the IR analogue of a segfault.
+
+use crate::instr::{CastOp, FBinOp, FPred, IBinOp, IPred, Instr, Intrinsic, Operand, Terminator};
+use crate::module::{BlockId, Function, Module, Ty, ValueId};
+use crate::{IrError, IrResult};
+
+/// Base address of the global segment (bytes). Matches the machine layout so
+/// that pointer values are comparable across interpreter and hardware runs.
+pub const GLOBAL_BASE: u64 = 0x0001_0000;
+/// Base address of the interpreter's alloca stack (bytes).
+pub const STACK_BASE: u64 = 0x4000_0000;
+
+/// One recorded output action of a program. Classification compares *events*
+/// rather than formatted text so that interpreter and machine cannot drift on
+/// number formatting.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OutEvent {
+    /// `print_i64`.
+    I64(i64),
+    /// `print_f64`.
+    F64(f64),
+    /// `print_str`.
+    Str(String),
+}
+
+/// Result of a complete interpreted execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecResult {
+    /// Exit code: the value returned from `main`.
+    pub exit_code: i64,
+    /// Output events in emission order.
+    pub output: Vec<OutEvent>,
+    /// Number of IR instructions executed (dynamic count).
+    pub instrs_executed: u64,
+}
+
+/// A runtime value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Val {
+    I(i64),
+    F(f64),
+}
+
+impl Val {
+    fn as_i(self) -> i64 {
+        match self {
+            Val::I(v) => v,
+            Val::F(v) => v.to_bits() as i64,
+        }
+    }
+    fn as_f(self) -> f64 {
+        match self {
+            Val::F(v) => v,
+            Val::I(v) => f64::from_bits(v as u64),
+        }
+    }
+}
+
+/// Interpreter over one module.
+pub struct Interp<'m> {
+    module: &'m Module,
+    globals: Vec<u64>,
+    global_base_words: u64,
+    stack: Vec<u64>,
+    output: Vec<OutEvent>,
+    fuel: u64,
+    executed: u64,
+}
+
+impl<'m> Interp<'m> {
+    /// Create an interpreter with a dynamic-instruction budget (`fuel`).
+    pub fn new(module: &'m Module, fuel: u64) -> Self {
+        let mut globals = Vec::new();
+        for g in &module.globals {
+            match &g.init {
+                crate::module::GlobalInit::Zero(n) => {
+                    globals.extend(std::iter::repeat(0u64).take(*n as usize))
+                }
+                crate::module::GlobalInit::I64s(v) => {
+                    globals.extend(v.iter().map(|x| *x as u64))
+                }
+                crate::module::GlobalInit::F64s(v) => {
+                    globals.extend(v.iter().map(|x| x.to_bits()))
+                }
+            }
+        }
+        Interp {
+            module,
+            globals,
+            global_base_words: GLOBAL_BASE / 8,
+            stack: Vec::new(),
+            output: Vec::new(),
+            fuel,
+            executed: 0,
+        }
+    }
+
+    /// Byte address of a global, mirroring the linker's layout order.
+    pub fn global_addr(module: &Module, g: crate::module::GlobalId) -> u64 {
+        let mut off = 0u64;
+        for gl in module.globals.iter().take(g.index()) {
+            off += gl.init.words() as u64 * 8;
+        }
+        GLOBAL_BASE + off
+    }
+
+    /// Run `main()` to completion.
+    pub fn run(mut self) -> IrResult<ExecResult> {
+        let main = self
+            .module
+            .func_by_name("main")
+            .ok_or_else(|| IrError::Verify("no main function".into()))?;
+        let ret = self.call(main, &[])?;
+        let exit_code = ret.map(|v| v.as_i()).unwrap_or(0);
+        Ok(ExecResult { exit_code, output: self.output, instrs_executed: self.executed })
+    }
+
+    fn trap<T>(msg: impl Into<String>) -> IrResult<T> {
+        Err(IrError::Trap(msg.into()))
+    }
+
+    fn load_word(&self, addr: u64) -> IrResult<u64> {
+        if addr % 8 != 0 {
+            return Self::trap(format!("misaligned load at {addr:#x}"));
+        }
+        let w = addr / 8;
+        if w >= self.global_base_words
+            && w < self.global_base_words + self.globals.len() as u64
+        {
+            return Ok(self.globals[(w - self.global_base_words) as usize]);
+        }
+        let sw = STACK_BASE / 8;
+        if w >= sw && w < sw + self.stack.len() as u64 {
+            return Ok(self.stack[(w - sw) as usize]);
+        }
+        Self::trap(format!("load from unmapped address {addr:#x}"))
+    }
+
+    fn store_word(&mut self, addr: u64, val: u64) -> IrResult<()> {
+        if addr % 8 != 0 {
+            return Self::trap(format!("misaligned store at {addr:#x}"));
+        }
+        let w = addr / 8;
+        if w >= self.global_base_words
+            && w < self.global_base_words + self.globals.len() as u64
+        {
+            self.globals[(w - self.global_base_words) as usize] = val;
+            return Ok(());
+        }
+        let sw = STACK_BASE / 8;
+        if w >= sw && w < sw + self.stack.len() as u64 {
+            self.stack[(w - sw) as usize] = val;
+            return Ok(());
+        }
+        Self::trap(format!("store to unmapped address {addr:#x}"))
+    }
+
+    fn call(&mut self, fid: crate::module::FuncId, args: &[Val]) -> IrResult<Option<Val>> {
+        let f = &self.module.funcs[fid.index()];
+        if args.len() != f.params.len() {
+            return Self::trap(format!("bad arg count calling @{}", f.name));
+        }
+        let mut env: Vec<Option<Val>> = vec![None; f.value_tys.len()];
+        for (i, a) in args.iter().enumerate() {
+            env[i] = Some(*a);
+        }
+        let stack_mark = self.stack.len();
+        let r = self.exec_function(f, &mut env);
+        self.stack.truncate(stack_mark);
+        r
+    }
+
+    fn operand(&self, f: &Function, env: &[Option<Val>], op: &Operand) -> IrResult<Val> {
+        match op {
+            Operand::Value(v) => env[v.index()]
+                .ok_or_else(|| IrError::Trap(format!("read of unset value %{}", v.0))),
+            Operand::ConstI(c) => Ok(Val::I(*c)),
+            Operand::ConstF(c) => Ok(Val::F(*c)),
+            Operand::Global(g) => Ok(Val::I(Self::global_addr(self.module, *g) as i64)),
+        }
+        .map(|v| {
+            // Normalize: values read through a typed context keep their repr.
+            let _ = f;
+            v
+        })
+    }
+
+    fn exec_function(&mut self, f: &Function, env: &mut [Option<Val>]) -> IrResult<Option<Val>> {
+        let mut cur = BlockId(0);
+        let mut prev: Option<BlockId> = None;
+        loop {
+            let block = f.block(cur);
+            // Phase 1: evaluate phis against the edge we arrived on.
+            let mut phi_writes: Vec<(ValueId, Val)> = Vec::new();
+            let mut first_non_phi = 0;
+            for (i, id) in block.instrs.iter().enumerate() {
+                if let Instr::Phi { incomings, .. } = &id.instr {
+                    let pred = prev.ok_or_else(|| {
+                        IrError::Trap("phi in entry block".to_string())
+                    })?;
+                    let (_, op) = incomings
+                        .iter()
+                        .find(|(p, _)| *p == pred)
+                        .ok_or_else(|| IrError::Trap("phi missing incoming".into()))?;
+                    let v = self.operand(f, env, op)?;
+                    phi_writes.push((id.result.unwrap(), v));
+                    first_non_phi = i + 1;
+                    self.consume_fuel()?;
+                } else {
+                    break;
+                }
+            }
+            for (v, val) in phi_writes {
+                env[v.index()] = Some(val);
+            }
+            // Phase 2: ordinary instructions.
+            for id in &block.instrs[first_non_phi..] {
+                self.consume_fuel()?;
+                let out = self.exec_instr(f, env, &id.instr)?;
+                if let Some(res) = id.result {
+                    env[res.index()] =
+                        Some(out.ok_or_else(|| IrError::Trap("instr produced no value".into()))?);
+                }
+            }
+            // Terminator.
+            self.consume_fuel()?;
+            match block.term.as_ref().expect("verified IR") {
+                Terminator::Br(b) => {
+                    prev = Some(cur);
+                    cur = *b;
+                }
+                Terminator::CondBr { cond, t, f: fb } => {
+                    let c = self.operand(f, env, cond)?.as_i();
+                    prev = Some(cur);
+                    cur = if c != 0 { *t } else { *fb };
+                }
+                Terminator::Ret(v) => {
+                    return match v {
+                        Some(op) => Ok(Some(self.operand(f, env, op)?)),
+                        None => Ok(None),
+                    };
+                }
+            }
+        }
+    }
+
+    fn consume_fuel(&mut self) -> IrResult<()> {
+        if self.fuel == 0 {
+            return Err(IrError::Timeout);
+        }
+        self.fuel -= 1;
+        self.executed += 1;
+        Ok(())
+    }
+
+    fn exec_instr(
+        &mut self,
+        f: &Function,
+        env: &mut [Option<Val>],
+        instr: &Instr,
+    ) -> IrResult<Option<Val>> {
+        Ok(match instr {
+            Instr::Alloca { words } => {
+                let addr = STACK_BASE + self.stack.len() as u64 * 8;
+                self.stack.extend(std::iter::repeat(0u64).take(*words as usize));
+                Some(Val::I(addr as i64))
+            }
+            Instr::Load { addr, ty } => {
+                let a = self.operand(f, env, addr)?.as_i() as u64;
+                let w = self.load_word(a)?;
+                Some(match ty {
+                    Ty::F64 => Val::F(f64::from_bits(w)),
+                    _ => Val::I(w as i64),
+                })
+            }
+            Instr::Store { addr, val, ty } => {
+                let a = self.operand(f, env, addr)?.as_i() as u64;
+                let v = self.operand(f, env, val)?;
+                let w = match ty {
+                    Ty::F64 => v.as_f().to_bits(),
+                    _ => v.as_i() as u64,
+                };
+                self.store_word(a, w)?;
+                None
+            }
+            Instr::IBin { op, a, b } => {
+                let x = self.operand(f, env, a)?.as_i();
+                let y = self.operand(f, env, b)?.as_i();
+                Some(Val::I(eval_ibin(*op, x, y)?))
+            }
+            Instr::FBin { op, a, b } => {
+                let x = self.operand(f, env, a)?.as_f();
+                let y = self.operand(f, env, b)?.as_f();
+                Some(Val::F(eval_fbin(*op, x, y)))
+            }
+            Instr::ICmp { pred, a, b } => {
+                let x = self.operand(f, env, a)?.as_i();
+                let y = self.operand(f, env, b)?.as_i();
+                Some(Val::I(eval_icmp(*pred, x, y) as i64))
+            }
+            Instr::FCmp { pred, a, b } => {
+                let x = self.operand(f, env, a)?.as_f();
+                let y = self.operand(f, env, b)?.as_f();
+                Some(Val::I(eval_fcmp(*pred, x, y) as i64))
+            }
+            Instr::Select { cond, a, b, .. } => {
+                let c = self.operand(f, env, cond)?.as_i();
+                Some(if c != 0 {
+                    self.operand(f, env, a)?
+                } else {
+                    self.operand(f, env, b)?
+                })
+            }
+            Instr::Cast { op, v } => {
+                let x = self.operand(f, env, v)?;
+                Some(match op {
+                    CastOp::SiToF => Val::F(x.as_i() as f64),
+                    CastOp::FToSi => Val::I(f_to_si(x.as_f())),
+                    CastOp::I1ToI64 => Val::I(x.as_i() & 1),
+                    CastOp::IntToPtr | CastOp::PtrToInt => Val::I(x.as_i()),
+                    CastOp::BitsToF => Val::F(f64::from_bits(x.as_i() as u64)),
+                    CastOp::FToBits => Val::I(x.as_f().to_bits() as i64),
+                })
+            }
+            Instr::PtrAdd { base, idx, scale, disp } => {
+                let b = self.operand(f, env, base)?.as_i();
+                let i = self.operand(f, env, idx)?.as_i();
+                Some(Val::I(b.wrapping_add(i.wrapping_mul(*scale)).wrapping_add(*disp)))
+            }
+            Instr::Call { func, args } => {
+                let mut vals = Vec::with_capacity(args.len());
+                for (pi, a) in args.iter().enumerate() {
+                    let v = self.operand(f, env, a)?;
+                    // Coerce const-int literals passed to f64 params.
+                    let want = self.module.funcs[func.index()].params[pi];
+                    vals.push(match (want, v) {
+                        (Ty::F64, Val::I(_)) if matches!(a, Operand::ConstI(_)) => {
+                            Val::F(v.as_i() as f64)
+                        }
+                        _ => v,
+                    });
+                }
+                self.call(*func, &vals)?
+            }
+            Instr::IntrinsicCall { which, args } => {
+                let mut vals = Vec::with_capacity(args.len());
+                for a in args {
+                    vals.push(self.operand(f, env, a)?);
+                }
+                self.intrinsic(*which, &vals)?
+            }
+            Instr::LlfiInject { val, .. } => {
+                // The interpreter is only used for golden runs; the inject
+                // call is an identity there (the machine-level runtime
+                // performs the real flip).
+                Some(self.operand(f, env, val)?)
+            }
+            Instr::PrintStr { s } => {
+                self.output.push(OutEvent::Str(self.module.strings[s.index()].clone()));
+                None
+            }
+            Instr::Phi { .. } => unreachable!("phis handled at block entry"),
+        })
+    }
+
+    fn intrinsic(&mut self, which: Intrinsic, args: &[Val]) -> IrResult<Option<Val>> {
+        Ok(match which {
+            Intrinsic::Sqrt => Some(Val::F(args[0].as_f().sqrt())),
+            Intrinsic::Fabs => Some(Val::F(args[0].as_f().abs())),
+            Intrinsic::Exp => Some(Val::F(args[0].as_f().exp())),
+            Intrinsic::Log => Some(Val::F(args[0].as_f().ln())),
+            Intrinsic::Sin => Some(Val::F(args[0].as_f().sin())),
+            Intrinsic::Cos => Some(Val::F(args[0].as_f().cos())),
+            Intrinsic::Floor => Some(Val::F(args[0].as_f().floor())),
+            Intrinsic::Pow => Some(Val::F(args[0].as_f().powf(args[1].as_f()))),
+            Intrinsic::Fmin => Some(Val::F(args[0].as_f().min(args[1].as_f()))),
+            Intrinsic::Fmax => Some(Val::F(args[0].as_f().max(args[1].as_f()))),
+            Intrinsic::PrintI64 => {
+                self.output.push(OutEvent::I64(args[0].as_i()));
+                None
+            }
+            Intrinsic::PrintF64 => {
+                self.output.push(OutEvent::F64(args[0].as_f()));
+                None
+            }
+        })
+    }
+}
+
+/// `fptosi` with the saturating behaviour both the interpreter and the
+/// machine share (Rust's `as` cast semantics).
+pub fn f_to_si(x: f64) -> i64 {
+    x as i64
+}
+
+/// Shared integer binop semantics (also used by the machine).
+pub fn eval_ibin(op: IBinOp, x: i64, y: i64) -> IrResult<i64> {
+    Ok(match op {
+        IBinOp::Add => x.wrapping_add(y),
+        IBinOp::Sub => x.wrapping_sub(y),
+        IBinOp::Mul => x.wrapping_mul(y),
+        IBinOp::Div => {
+            if y == 0 || (x == i64::MIN && y == -1) {
+                return Err(IrError::Trap("integer divide fault".into()));
+            }
+            x / y
+        }
+        IBinOp::Rem => {
+            if y == 0 || (x == i64::MIN && y == -1) {
+                return Err(IrError::Trap("integer divide fault".into()));
+            }
+            x % y
+        }
+        IBinOp::And => x & y,
+        IBinOp::Or => x | y,
+        IBinOp::Xor => x ^ y,
+        IBinOp::Shl => x.wrapping_shl((y & 63) as u32),
+        IBinOp::LShr => ((x as u64).wrapping_shr((y & 63) as u32)) as i64,
+        IBinOp::AShr => x.wrapping_shr((y & 63) as u32),
+    })
+}
+
+/// Shared float binop semantics.
+pub fn eval_fbin(op: FBinOp, x: f64, y: f64) -> f64 {
+    match op {
+        FBinOp::Add => x + y,
+        FBinOp::Sub => x - y,
+        FBinOp::Mul => x * y,
+        FBinOp::Div => x / y,
+    }
+}
+
+/// Shared integer comparison semantics.
+pub fn eval_icmp(pred: IPred, x: i64, y: i64) -> bool {
+    match pred {
+        IPred::Eq => x == y,
+        IPred::Ne => x != y,
+        IPred::Slt => x < y,
+        IPred::Sle => x <= y,
+        IPred::Sgt => x > y,
+        IPred::Sge => x >= y,
+    }
+}
+
+/// Shared (ordered) float comparison semantics.
+pub fn eval_fcmp(pred: FPred, x: f64, y: f64) -> bool {
+    match pred {
+        FPred::Oeq => x == y,
+        FPred::One => x != y && !x.is_nan() && !y.is_nan(),
+        FPred::Olt => x < y,
+        FPred::Ole => x <= y,
+        FPred::Ogt => x > y,
+        FPred::Oge => x >= y,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FuncBuilder;
+    use crate::module::{GlobalInit, Module};
+
+    fn run_main(m: &Module) -> ExecResult {
+        Interp::new(m, 1_000_000).run().expect("execution failed")
+    }
+
+    #[test]
+    fn arithmetic_and_return() {
+        let mut m = Module::new();
+        let mut b = FuncBuilder::new("main", vec![], Some(Ty::I64));
+        let x = b.ibin(IBinOp::Mul, Operand::ConstI(6), Operand::ConstI(7));
+        b.ret(Some(x));
+        m.add_function(b.finish());
+        assert_eq!(run_main(&m).exit_code, 42);
+    }
+
+    #[test]
+    fn loop_sums_to_100() {
+        let mut m = Module::new();
+        let mut b = FuncBuilder::new("main", vec![], Some(Ty::I64));
+        let header = b.add_block("h");
+        let body = b.add_block("b");
+        let exit = b.add_block("e");
+        b.br(header);
+        b.switch_to(header);
+        let i = b.phi(Ty::I64, vec![(BlockId(0), Operand::ConstI(0))]);
+        let s = b.phi(Ty::I64, vec![(BlockId(0), Operand::ConstI(0))]);
+        let c = b.icmp(IPred::Slt, i, Operand::ConstI(10));
+        b.cond_br(c, body, exit);
+        b.switch_to(body);
+        let i2 = b.ibin(IBinOp::Add, i, Operand::ConstI(1));
+        let s2 = b.ibin(IBinOp::Add, s, i2);
+        b.add_incoming(i, body, i2);
+        b.add_incoming(s, body, s2);
+        b.br(header);
+        b.switch_to(exit);
+        b.ret(Some(s));
+        m.add_function(b.finish());
+        assert_eq!(run_main(&m).exit_code, 55);
+    }
+
+    #[test]
+    fn globals_and_memory() {
+        let mut m = Module::new();
+        let g = m.add_global("arr", GlobalInit::I64s(vec![10, 20, 30]));
+        let mut b = FuncBuilder::new("main", vec![], Some(Ty::I64));
+        let p1 = b.elem(Operand::Global(g), Operand::ConstI(1));
+        let v = b.load(p1, Ty::I64);
+        let p2 = b.elem(Operand::Global(g), Operand::ConstI(2));
+        b.store(p2, Operand::ConstI(99), Ty::I64);
+        let v2 = b.load(p2, Ty::I64);
+        let sum = b.ibin(IBinOp::Add, v, v2);
+        b.ret(Some(sum));
+        m.add_function(b.finish());
+        assert_eq!(run_main(&m).exit_code, 119);
+    }
+
+    #[test]
+    fn alloca_roundtrip() {
+        let mut m = Module::new();
+        let mut b = FuncBuilder::new("main", vec![], Some(Ty::I64));
+        let a = b.alloca(4);
+        let p = b.elem(a, Operand::ConstI(3));
+        b.store(p, Operand::ConstI(7), Ty::I64);
+        let v = b.load(p, Ty::I64);
+        b.ret(Some(v));
+        m.add_function(b.finish());
+        assert_eq!(run_main(&m).exit_code, 7);
+    }
+
+    #[test]
+    fn float_math_and_print() {
+        let mut m = Module::new();
+        let mut b = FuncBuilder::new("main", vec![], Some(Ty::I64));
+        let x = b.fbin(FBinOp::Mul, Operand::ConstF(1.5), Operand::ConstF(4.0));
+        let s = b.intrinsic(Intrinsic::Sqrt, vec![x]).unwrap();
+        b.intrinsic(Intrinsic::PrintF64, vec![s]);
+        b.ret(Some(Operand::ConstI(0)));
+        m.add_function(b.finish());
+        let r = run_main(&m);
+        assert_eq!(r.output, vec![OutEvent::F64(6.0f64.sqrt())]);
+    }
+
+    #[test]
+    fn call_with_args() {
+        let mut m = Module::new();
+        let mut cal = FuncBuilder::new("twice", vec![Ty::I64], Some(Ty::I64));
+        let p = cal.params()[0];
+        let r = cal.ibin(IBinOp::Mul, p, Operand::ConstI(2));
+        cal.ret(Some(r));
+        let twice = m.add_function(cal.finish());
+        let mut b = FuncBuilder::new("main", vec![], Some(Ty::I64));
+        let r = b.call(twice, vec![Operand::ConstI(21)], Some(Ty::I64)).unwrap();
+        b.ret(Some(r));
+        m.add_function(b.finish());
+        assert_eq!(run_main(&m).exit_code, 42);
+    }
+
+    #[test]
+    fn div_by_zero_traps() {
+        let mut m = Module::new();
+        let mut b = FuncBuilder::new("main", vec![], Some(Ty::I64));
+        let z = b.ibin(IBinOp::Sub, Operand::ConstI(1), Operand::ConstI(1));
+        let d = b.ibin(IBinOp::Div, Operand::ConstI(5), z);
+        b.ret(Some(d));
+        m.add_function(b.finish());
+        assert!(matches!(Interp::new(&m, 1000).run(), Err(IrError::Trap(_))));
+    }
+
+    #[test]
+    fn wild_pointer_traps() {
+        let mut m = Module::new();
+        let mut b = FuncBuilder::new("main", vec![], Some(Ty::I64));
+        let p = b.cast(CastOp::IntToPtr, Operand::ConstI(0x10));
+        let v = b.load(p, Ty::I64);
+        b.ret(Some(v));
+        m.add_function(b.finish());
+        assert!(matches!(Interp::new(&m, 1000).run(), Err(IrError::Trap(_))));
+    }
+
+    #[test]
+    fn fuel_exhaustion_times_out() {
+        let mut m = Module::new();
+        let mut b = FuncBuilder::new("main", vec![], Some(Ty::I64));
+        let l = b.add_block("l");
+        b.br(l);
+        b.switch_to(l);
+        b.br(l);
+        m.add_function(b.finish());
+        assert!(matches!(Interp::new(&m, 100).run(), Err(IrError::Timeout)));
+    }
+
+    #[test]
+    fn ibin_semantics() {
+        assert_eq!(eval_ibin(IBinOp::Add, i64::MAX, 1).unwrap(), i64::MIN);
+        assert_eq!(eval_ibin(IBinOp::Shl, 1, 65).unwrap(), 2); // masked shift
+        assert_eq!(eval_ibin(IBinOp::LShr, -1, 63).unwrap(), 1);
+        assert_eq!(eval_ibin(IBinOp::AShr, -8, 1).unwrap(), -4);
+        assert!(eval_ibin(IBinOp::Div, i64::MIN, -1).is_err());
+        assert!(eval_ibin(IBinOp::Rem, 3, 0).is_err());
+    }
+
+    #[test]
+    fn fcmp_nan_is_unordered() {
+        assert!(!eval_fcmp(FPred::Oeq, f64::NAN, f64::NAN));
+        assert!(!eval_fcmp(FPred::Olt, f64::NAN, 1.0));
+        assert!(!eval_fcmp(FPred::One, f64::NAN, 1.0));
+        assert!(eval_fcmp(FPred::One, 1.0, 2.0));
+    }
+}

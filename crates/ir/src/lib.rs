@@ -1,0 +1,69 @@
+#![warn(missing_docs)]
+
+//! `refine-ir` — the SSA intermediate representation of the REFINE reproduction
+//! toolchain.
+//!
+//! This crate is the analogue of LLVM IR in the paper: a language-independent,
+//! RISC-flavoured, load/store SSA representation with an unbounded supply of
+//! virtual values. It deliberately abstracts away everything the paper's §3.3
+//! identifies as invisible at the IR level — register allocation, function
+//! prologue/epilogue, spill traffic, condition flags — so that the accuracy gap
+//! between IR-level and backend-level fault injection can be reproduced
+//! faithfully by the rest of the workspace.
+//!
+//! Contents:
+//! * [`module`] — modules, functions, basic blocks, globals;
+//! * [`instr`] — the instruction set and terminators;
+//! * [`builder`] — an ergonomic construction API used by the frontend;
+//! * [`verify`] — structural and type verification;
+//! * [`dom`] — dominator tree and dominance frontiers;
+//! * [`interp`] — a reference interpreter used for differential testing;
+//! * [`passes`] — the optimizer (mem2reg, constant folding, local CSE, DCE,
+//!   CFG simplification) so that, as in the paper, fault injection operates on
+//!   *optimized* code;
+//! * [`printer`] — textual IR in an LLVM-ish syntax for the listings
+//!   reproduction.
+
+pub mod builder;
+pub mod dom;
+pub mod instr;
+pub mod interp;
+pub mod module;
+pub mod passes;
+pub mod printer;
+pub mod verify;
+
+pub use builder::FuncBuilder;
+pub use instr::{
+    CastOp, FBinOp, FPred, IBinOp, IPred, Instr, Intrinsic, Operand, Terminator,
+};
+pub use module::{
+    BlockId, Function, FuncId, Global, GlobalId, GlobalInit, Module, StrId, Ty, ValueId,
+};
+
+/// Result alias for IR-level errors (verification failures and interpreter traps).
+pub type IrResult<T> = Result<T, IrError>;
+
+/// Errors produced while verifying or interpreting IR.
+#[derive(Debug, Clone, PartialEq)]
+pub enum IrError {
+    /// Structural or type error found by the verifier.
+    Verify(String),
+    /// The interpreter performed an illegal operation (the IR analogue of a
+    /// machine trap): out-of-bounds access, division by zero, etc.
+    Trap(String),
+    /// The interpreter exceeded its instruction budget.
+    Timeout,
+}
+
+impl std::fmt::Display for IrError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IrError::Verify(m) => write!(f, "verify error: {m}"),
+            IrError::Trap(m) => write!(f, "trap: {m}"),
+            IrError::Timeout => write!(f, "timeout"),
+        }
+    }
+}
+
+impl std::error::Error for IrError {}

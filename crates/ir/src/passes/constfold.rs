@@ -1,0 +1,197 @@
+//! Constant folding and safe algebraic simplification.
+
+use super::Subst;
+use crate::instr::{CastOp, Instr, Operand};
+use crate::interp::{eval_fbin, eval_fcmp, eval_ibin, eval_icmp, f_to_si};
+use crate::module::Function;
+
+/// Fold constants in `f`. Returns `true` on change.
+pub fn run(f: &mut Function) -> bool {
+    let mut subst = Subst::default();
+    let mut removed = false;
+
+    for b in &mut f.blocks {
+        for id in &mut b.instrs {
+            // Resolve operands through earlier folds in the same run.
+            id.instr.for_each_operand_mut(&mut |op| *op = subst.resolve(*op));
+            let Some(res) = id.result else { continue };
+            let replacement = match &id.instr {
+                Instr::IBin { op, a: Operand::ConstI(x), b: Operand::ConstI(y) } => {
+                    // Leave trapping operations in place: folding a divide
+                    // fault away would change program behaviour.
+                    eval_ibin(*op, *x, *y).ok().map(Operand::ConstI)
+                }
+                Instr::IBin { op, a, b } => fold_int_identity(*op, *a, *b),
+                Instr::FBin { op, a: Operand::ConstF(x), b: Operand::ConstF(y) } => {
+                    Some(Operand::ConstF(eval_fbin(*op, *x, *y)))
+                }
+                Instr::FBin { op, a, b } => fold_float_identity(*op, *a, *b),
+                Instr::ICmp { pred, a: Operand::ConstI(x), b: Operand::ConstI(y) } => {
+                    Some(Operand::ConstI(eval_icmp(*pred, *x, *y) as i64))
+                }
+                Instr::FCmp { pred, a: Operand::ConstF(x), b: Operand::ConstF(y) } => {
+                    Some(Operand::ConstI(eval_fcmp(*pred, *x, *y) as i64))
+                }
+                Instr::Select { cond: Operand::ConstI(c), a, b, .. } => {
+                    Some(if *c != 0 { *a } else { *b })
+                }
+                Instr::Cast { op, v } => match (op, v) {
+                    (CastOp::SiToF, Operand::ConstI(x)) => Some(Operand::ConstF(*x as f64)),
+                    (CastOp::FToSi, Operand::ConstF(x)) => Some(Operand::ConstI(f_to_si(*x))),
+                    (CastOp::I1ToI64, Operand::ConstI(x)) => Some(Operand::ConstI(x & 1)),
+                    (CastOp::IntToPtr | CastOp::PtrToInt, Operand::ConstI(x)) => {
+                        Some(Operand::ConstI(*x))
+                    }
+                    (CastOp::BitsToF, Operand::ConstI(x)) => {
+                        Some(Operand::ConstF(f64::from_bits(*x as u64)))
+                    }
+                    (CastOp::FToBits, Operand::ConstF(x)) => {
+                        Some(Operand::ConstI(x.to_bits() as i64))
+                    }
+                    _ => None,
+                },
+                Instr::Phi { incomings, .. } => {
+                    // A phi whose incomings are all the same operand folds.
+                    let first = incomings.first().map(|(_, op)| *op);
+                    match first {
+                        Some(op)
+                            if op.as_value() != Some(res)
+                                && incomings.iter().all(|(_, o)| *o == op) =>
+                        {
+                            Some(op)
+                        }
+                        _ => None,
+                    }
+                }
+                _ => None,
+            };
+            if let Some(rep) = replacement {
+                subst.insert(res, rep);
+                removed = true;
+            }
+        }
+    }
+
+    if subst.is_empty() {
+        return removed;
+    }
+    // Drop the folded instructions (pure, result substituted away).
+    let folded: std::collections::HashSet<_> = f
+        .blocks
+        .iter()
+        .flat_map(|b| b.instrs.iter())
+        .filter_map(|id| {
+            id.result
+                .filter(|v| !matches!(subst.resolve(Operand::Value(*v)), Operand::Value(x) if x == *v))
+        })
+        .collect();
+    for b in &mut f.blocks {
+        b.instrs
+            .retain(|id| !(id.instr.is_pure() && id.result.map_or(false, |v| folded.contains(&v))));
+        if let Some(t) = &mut b.term {
+            t.for_each_operand_mut(&mut |op| *op = subst.resolve(*op));
+        }
+    }
+    subst.apply(f);
+    true
+}
+
+/// Safe integer identities: `x+0`, `x-0`, `x*1`, `x*0`, `x^x`, shifts by 0.
+fn fold_int_identity(op: crate::instr::IBinOp, a: Operand, b: Operand) -> Option<Operand> {
+    use crate::instr::IBinOp::*;
+    match (op, a, b) {
+        (Add, x, Operand::ConstI(0)) | (Add, Operand::ConstI(0), x) => Some(x),
+        (Sub, x, Operand::ConstI(0)) => Some(x),
+        (Mul, x, Operand::ConstI(1)) | (Mul, Operand::ConstI(1), x) => Some(x),
+        (Mul, _, Operand::ConstI(0)) | (Mul, Operand::ConstI(0), _) => Some(Operand::ConstI(0)),
+        (Xor, Operand::Value(x), Operand::Value(y)) if x == y => Some(Operand::ConstI(0)),
+        (Shl | LShr | AShr, x, Operand::ConstI(0)) => Some(x),
+        (Or | And, Operand::Value(x), Operand::Value(y)) if x == y => Some(Operand::Value(x)),
+        _ => None,
+    }
+}
+
+/// Safe float identities (`x*1.0`, `x/1.0` only — additive identities are
+/// unsound under signed zero).
+fn fold_float_identity(op: crate::instr::FBinOp, a: Operand, b: Operand) -> Option<Operand> {
+    use crate::instr::FBinOp::*;
+    match (op, a, b) {
+        (Mul, x, Operand::ConstF(c)) | (Mul, Operand::ConstF(c), x) if c == 1.0 => Some(x),
+        (Div, x, Operand::ConstF(c)) if c == 1.0 => Some(x),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FuncBuilder;
+    use crate::instr::{FBinOp, IBinOp, IPred};
+    use crate::module::{Module, Ty};
+    use crate::verify::verify_module;
+
+    #[test]
+    fn folds_constant_tree() {
+        let mut m = Module::new();
+        let mut b = FuncBuilder::new("main", vec![], Some(Ty::I64));
+        let x = b.ibin(IBinOp::Add, Operand::ConstI(2), Operand::ConstI(3));
+        let y = b.ibin(IBinOp::Mul, x, Operand::ConstI(4));
+        b.ret(Some(y));
+        m.add_function(b.finish());
+        assert!(run(&mut m.funcs[0]));
+        verify_module(&m).unwrap();
+        assert!(m.funcs[0].blocks[0].instrs.is_empty());
+        assert!(matches!(
+            m.funcs[0].blocks[0].term,
+            Some(crate::instr::Terminator::Ret(Some(Operand::ConstI(20))))
+        ));
+    }
+
+    #[test]
+    fn keeps_trapping_division() {
+        let mut m = Module::new();
+        let mut b = FuncBuilder::new("main", vec![], Some(Ty::I64));
+        let d = b.ibin(IBinOp::Div, Operand::ConstI(1), Operand::ConstI(0));
+        b.ret(Some(d));
+        m.add_function(b.finish());
+        run(&mut m.funcs[0]);
+        assert_eq!(m.funcs[0].blocks[0].instrs.len(), 1, "div-by-zero must survive");
+    }
+
+    #[test]
+    fn folds_identities() {
+        let mut m = Module::new();
+        let mut b = FuncBuilder::new("f", vec![Ty::I64, Ty::F64], Some(Ty::F64));
+        let p = b.params()[0];
+        let q = b.params()[1];
+        let x = b.ibin(IBinOp::Add, p, Operand::ConstI(0));
+        let y = b.ibin(IBinOp::Mul, x, Operand::ConstI(1));
+        let z = b.cast(CastOp::SiToF, y);
+        let w = b.fbin(FBinOp::Mul, z, Operand::ConstF(1.0));
+        let r = b.fbin(FBinOp::Add, w, q);
+        b.ret(Some(r));
+        m.add_function(b.finish());
+        assert!(run(&mut m.funcs[0]));
+        verify_module(&m).unwrap();
+        // add+mul+fmul identities gone: only sitofp and fadd remain.
+        assert_eq!(m.funcs[0].blocks[0].instrs.len(), 2);
+    }
+
+    #[test]
+    fn folds_comparison_and_select() {
+        let mut m = Module::new();
+        let mut b = FuncBuilder::new("main", vec![], Some(Ty::I64));
+        let c = b.icmp(IPred::Slt, Operand::ConstI(1), Operand::ConstI(2));
+        let s = b.select(c, Operand::ConstI(10), Operand::ConstI(20), Ty::I64);
+        b.ret(Some(s));
+        m.add_function(b.finish());
+        // Two rounds: fold icmp, then select on the folded condition.
+        run(&mut m.funcs[0]);
+        run(&mut m.funcs[0]);
+        assert!(m.funcs[0].blocks[0].instrs.is_empty());
+        assert!(matches!(
+            m.funcs[0].blocks[0].term,
+            Some(crate::instr::Terminator::Ret(Some(Operand::ConstI(10))))
+        ));
+    }
+}

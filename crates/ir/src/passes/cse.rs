@@ -1,0 +1,110 @@
+//! Local (per-block) common-subexpression elimination over pure instructions.
+
+use super::Subst;
+use crate::instr::{Instr, Operand};
+use crate::module::Function;
+use std::collections::HashMap;
+
+/// Run local CSE on every block of `f`. Returns `true` on change.
+pub fn run(f: &mut Function) -> bool {
+    let mut subst = Subst::default();
+    let mut changed = false;
+
+    for b in &mut f.blocks {
+        // Key: canonical encoding of (opcode, operands). Using the Debug
+        // rendering keeps the key total over every instruction shape without
+        // a parallel mirror enum; instruction structs are small, so the
+        // allocation cost is irrelevant at compile time.
+        let mut available: HashMap<String, crate::module::ValueId> = HashMap::new();
+        for id in &mut b.instrs {
+            id.instr.for_each_operand_mut(&mut |op| *op = subst.resolve(*op));
+            // Phis are pure but position-dependent; skip them.
+            if !id.instr.is_pure() || id.instr.is_phi() {
+                continue;
+            }
+            let Some(res) = id.result else { continue };
+            let key = instr_key(&id.instr);
+            match available.get(&key) {
+                Some(&prev) => {
+                    subst.insert(res, Operand::Value(prev));
+                    changed = true;
+                }
+                None => {
+                    available.insert(key, res);
+                }
+            }
+        }
+    }
+    if !changed {
+        return false;
+    }
+    // Remove the now-redundant instructions and rewrite uses.
+    for b in &mut f.blocks {
+        b.instrs.retain(|id| match id.result {
+            Some(v) => {
+                !(id.instr.is_pure()
+                    && !matches!(subst.resolve(Operand::Value(v)), Operand::Value(x) if x == v))
+            }
+            None => true,
+        });
+    }
+    subst.apply(f);
+    true
+}
+
+fn instr_key(i: &Instr) -> String {
+    format!("{i:?}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FuncBuilder;
+    use crate::instr::IBinOp;
+    use crate::module::{Module, Ty};
+    use crate::verify::verify_module;
+
+    #[test]
+    fn merges_duplicate_expressions() {
+        let mut m = Module::new();
+        let mut b = FuncBuilder::new("f", vec![Ty::I64], Some(Ty::I64));
+        let p = b.params()[0];
+        let x = b.ibin(IBinOp::Mul, p, p);
+        let y = b.ibin(IBinOp::Mul, p, p); // duplicate
+        let s = b.ibin(IBinOp::Add, x, y);
+        b.ret(Some(s));
+        m.add_function(b.finish());
+        assert!(run(&mut m.funcs[0]));
+        verify_module(&m).unwrap();
+        assert_eq!(m.funcs[0].blocks[0].instrs.len(), 2);
+    }
+
+    #[test]
+    fn does_not_merge_across_blocks() {
+        let mut m = Module::new();
+        let mut b = FuncBuilder::new("f", vec![Ty::I64], Some(Ty::I64));
+        let p = b.params()[0];
+        let next = b.add_block("next");
+        let _x = b.ibin(IBinOp::Mul, p, p);
+        b.br(next);
+        b.switch_to(next);
+        let y = b.ibin(IBinOp::Mul, p, p);
+        b.ret(Some(y));
+        m.add_function(b.finish());
+        assert!(!run(&mut m.funcs[0]), "local CSE must not cross blocks");
+    }
+
+    #[test]
+    fn does_not_merge_loads() {
+        let mut m = Module::new();
+        let g = m.add_global("g", crate::module::GlobalInit::Zero(1));
+        let mut b = FuncBuilder::new("f", vec![], Some(Ty::I64));
+        let a = b.load(Operand::Global(g), Ty::I64);
+        b.store(Operand::Global(g), Operand::ConstI(1), Ty::I64);
+        let c = b.load(Operand::Global(g), Ty::I64);
+        let s = b.ibin(IBinOp::Add, a, c);
+        b.ret(Some(s));
+        m.add_function(b.finish());
+        assert!(!run(&mut m.funcs[0]), "loads are not pure and must survive");
+    }
+}

@@ -1,0 +1,91 @@
+//! Dead-code elimination: remove pure instructions whose results are unused.
+
+use super::use_counts;
+use crate::module::{Function, Ty};
+
+/// Run DCE to fixpoint on `f`. Returns `true` on change.
+///
+/// `rets` is unused here but kept in the signature so every pass in the
+/// pipeline shares a shape (some passes need callee return types).
+pub fn run(f: &mut Function, rets: &[Option<Ty>]) -> bool {
+    let _ = rets;
+    let mut any = false;
+    loop {
+        let counts = use_counts(f);
+        let mut changed = false;
+        for b in &mut f.blocks {
+            let before = b.instrs.len();
+            b.instrs.retain(|id| {
+                let dead = id.instr.is_pure()
+                    && id.result.map_or(true, |v| counts[v.index()] == 0);
+                !dead
+            });
+            if b.instrs.len() != before {
+                changed = true;
+            }
+        }
+        // Also drop allocas that are never referenced (arrays left behind by
+        // other passes). Allocas are not "pure" (they affect the frame) but
+        // an unused one is safely removable.
+        let counts = use_counts(f);
+        for b in &mut f.blocks {
+            let before = b.instrs.len();
+            b.instrs.retain(|id| {
+                let dead = matches!(id.instr, crate::instr::Instr::Alloca { .. })
+                    && id.result.map_or(true, |v| counts[v.index()] == 0);
+                !dead
+            });
+            if b.instrs.len() != before {
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+        any = true;
+    }
+    any
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FuncBuilder;
+    use crate::instr::{IBinOp, Intrinsic, Operand};
+    use crate::module::{Module, Ty};
+
+    #[test]
+    fn removes_dead_chain() {
+        let mut m = Module::new();
+        let mut b = FuncBuilder::new("f", vec![Ty::I64], Some(Ty::I64));
+        let p = b.params()[0];
+        let x = b.ibin(IBinOp::Add, p, Operand::ConstI(1));
+        let _y = b.ibin(IBinOp::Mul, x, Operand::ConstI(2)); // dead (and its input chain)
+        b.ret(Some(p));
+        m.add_function(b.finish());
+        assert!(run(&mut m.funcs[0], &[]));
+        assert!(m.funcs[0].blocks[0].instrs.is_empty());
+    }
+
+    #[test]
+    fn keeps_side_effects() {
+        let mut m = Module::new();
+        let mut b = FuncBuilder::new("f", vec![], None);
+        b.intrinsic(Intrinsic::PrintI64, vec![Operand::ConstI(1)]);
+        b.ret(None);
+        m.add_function(b.finish());
+        assert!(!run(&mut m.funcs[0], &[]));
+        assert_eq!(m.funcs[0].blocks[0].instrs.len(), 1);
+    }
+
+    #[test]
+    fn removes_unused_alloca() {
+        let mut m = Module::new();
+        let mut b = FuncBuilder::new("f", vec![], None);
+        let _a = b.alloca(16);
+        b.ret(None);
+        m.add_function(b.finish());
+        assert!(run(&mut m.funcs[0], &[]));
+        assert!(m.funcs[0].blocks[0].instrs.is_empty());
+    }
+}

@@ -1,0 +1,230 @@
+//! Inlining of small leaf functions.
+//!
+//! The benchmark kernels use tiny index helpers (`gid(i,j,k)`-style), which
+//! any production compiler inlines; without this pass every array access
+//! would carry call overhead and the generated code would misrepresent the
+//! instruction mix FI samples from. Only single-block, call-free functions
+//! below a size threshold are inlined.
+
+use crate::instr::{Instr, Operand, Terminator};
+use crate::module::{Function, InstrData, Module, ValueId};
+use std::collections::HashMap;
+
+/// Maximum callee size (instructions) considered for inlining.
+pub const MAX_INLINE_INSTRS: usize = 16;
+
+/// Is `f` an inlining candidate: one block, small, no calls (intrinsics are
+/// fine — they are runtime operations, not user calls), returns a value or
+/// void via a plain `ret`.
+fn is_candidate(f: &Function) -> bool {
+    f.blocks.len() == 1
+        && f.blocks[0].instrs.len() <= MAX_INLINE_INSTRS
+        && f.blocks[0]
+            .instrs
+            .iter()
+            .all(|i| !matches!(i.instr, Instr::Call { .. } | Instr::Phi { .. }))
+        && matches!(f.blocks[0].term, Some(Terminator::Ret(_)))
+}
+
+/// Run inlining over the whole module. Returns the number of call sites
+/// inlined.
+pub fn run(m: &mut Module) -> usize {
+    let candidates: Vec<Option<Function>> = m
+        .funcs
+        .iter()
+        .map(|f| if is_candidate(f) { Some(f.clone()) } else { None })
+        .collect();
+    let mut inlined = 0;
+    for fi in 0..m.funcs.len() {
+        // Never inline a candidate into itself (no recursion among
+        // candidates is possible anyway: they contain no calls).
+        let f = &mut m.funcs[fi];
+        for bi in 0..f.blocks.len() {
+            let old = std::mem::take(&mut f.blocks[bi].instrs);
+            let mut neu = Vec::with_capacity(old.len());
+            for id in old {
+                match &id.instr {
+                    Instr::Call { func, args }
+                        if func.index() != fi && candidates[func.index()].is_some() =>
+                    {
+                        let callee = candidates[func.index()].as_ref().unwrap();
+                        let ret =
+                            splice(f, callee, args, &mut neu);
+                        if let (Some(res), Some(ret_op)) = (id.result, ret) {
+                            // Bind the call result: emit a copy so later
+                            // uses of `res` keep working. A trivial binop
+                            // with 0 keeps the IR simple; constfold cleans
+                            // it up.
+                            neu.push(InstrData {
+                                instr: copy_instr(f, res, ret_op),
+                                result: Some(res),
+                            });
+                        }
+                        inlined += 1;
+                    }
+                    _ => neu.push(id),
+                }
+            }
+            f.blocks[bi].instrs = neu;
+        }
+    }
+    inlined
+}
+
+/// Clone `callee`'s single block into the caller at the current position,
+/// remapping parameters to `args` and values to fresh caller values.
+/// Returns the remapped return operand.
+fn splice(
+    caller: &mut Function,
+    callee: &Function,
+    args: &[Operand],
+    out: &mut Vec<InstrData>,
+) -> Option<Operand> {
+    let mut vmap: HashMap<ValueId, Operand> = HashMap::new();
+    for (i, a) in args.iter().enumerate() {
+        vmap.insert(ValueId(i as u32), *a);
+    }
+    let remap = |op: &mut Operand, vmap: &HashMap<ValueId, Operand>| {
+        if let Some(v) = op.as_value() {
+            *op = *vmap.get(&v).expect("callee value defined before use");
+        }
+    };
+    for id in &callee.blocks[0].instrs {
+        let mut instr = id.instr.clone();
+        instr.for_each_operand_mut(&mut |op| remap(op, &vmap));
+        let result = id.result.map(|r| {
+            let fresh = caller.new_value(callee.ty_of(r));
+            vmap.insert(r, Operand::Value(fresh));
+            fresh
+        });
+        out.push(InstrData { instr, result });
+    }
+    match callee.blocks[0].term.as_ref().unwrap() {
+        Terminator::Ret(Some(op)) => {
+            let mut op = *op;
+            remap(&mut op, &vmap);
+            Some(op)
+        }
+        Terminator::Ret(None) => None,
+        _ => unreachable!("candidate ends with ret"),
+    }
+}
+
+/// A value-copy instruction binding `res` (typed like `res`) to `src`.
+fn copy_instr(f: &Function, res: ValueId, src: Operand) -> Instr {
+    match f.ty_of(res) {
+        crate::module::Ty::F64 => Instr::FBin {
+            op: crate::instr::FBinOp::Mul,
+            a: src,
+            b: Operand::ConstF(1.0),
+        },
+        crate::module::Ty::I1 => Instr::Select {
+            cond: src,
+            a: Operand::ConstI(1),
+            b: Operand::ConstI(0),
+            ty: crate::module::Ty::I1,
+        },
+        _ => Instr::IBin { op: crate::instr::IBinOp::Add, a: src, b: Operand::ConstI(0) },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FuncBuilder;
+    use crate::instr::IBinOp;
+    use crate::interp::Interp;
+    use crate::module::Ty;
+    use crate::verify::verify_module;
+
+    fn idx_module() -> Module {
+        let mut m = Module::new();
+        let mut h = FuncBuilder::new("idx", vec![Ty::I64, Ty::I64], Some(Ty::I64));
+        let p = h.params();
+        let t = h.ibin(IBinOp::Mul, p[0], Operand::ConstI(10));
+        let r = h.ibin(IBinOp::Add, t, p[1]);
+        h.ret(Some(r));
+        let idx = m.add_function(h.finish());
+
+        let g = m.add_global("a", crate::module::GlobalInit::Zero(100));
+        let mut b = FuncBuilder::new("main", vec![], Some(Ty::I64));
+        let i1 = b.call(idx, vec![Operand::ConstI(3), Operand::ConstI(4)], Some(Ty::I64)).unwrap();
+        let addr = b.elem(Operand::Global(g), i1);
+        b.store(addr, Operand::ConstI(77), Ty::I64);
+        let i2 = b.call(idx, vec![Operand::ConstI(3), Operand::ConstI(4)], Some(Ty::I64)).unwrap();
+        let addr2 = b.elem(Operand::Global(g), i2);
+        let v = b.load(addr2, Ty::I64);
+        b.ret(Some(v));
+        m.add_function(b.finish());
+        m
+    }
+
+    #[test]
+    fn inlines_index_helper() {
+        let mut m = idx_module();
+        let before = Interp::new(&m, 100_000).run().unwrap().exit_code;
+        let n = run(&mut m);
+        assert_eq!(n, 2);
+        verify_module(&m).unwrap();
+        // No calls remain in main.
+        let main = m.func_by_name("main").unwrap();
+        assert!(!m.funcs[main.index()]
+            .blocks
+            .iter()
+            .flat_map(|b| &b.instrs)
+            .any(|i| matches!(i.instr, Instr::Call { .. })));
+        let after = Interp::new(&m, 100_000).run().unwrap().exit_code;
+        assert_eq!(before, after);
+        assert_eq!(after, 77);
+    }
+
+    #[test]
+    fn does_not_inline_large_or_multiblock() {
+        let mut m = Module::new();
+        // Multi-block callee.
+        let mut h = FuncBuilder::new("branchy", vec![Ty::I64], Some(Ty::I64));
+        let t = h.add_block("t");
+        let e = h.add_block("e");
+        let p = h.params()[0];
+        let c = h.icmp(crate::instr::IPred::Sgt, p, Operand::ConstI(0));
+        h.cond_br(c, t, e);
+        h.switch_to(t);
+        h.ret(Some(Operand::ConstI(1)));
+        h.switch_to(e);
+        h.ret(Some(Operand::ConstI(2)));
+        let branchy = m.add_function(h.finish());
+        let mut b = FuncBuilder::new("main", vec![], Some(Ty::I64));
+        let r = b.call(branchy, vec![Operand::ConstI(5)], Some(Ty::I64)).unwrap();
+        b.ret(Some(r));
+        m.add_function(b.finish());
+        assert_eq!(run(&mut m), 0, "multi-block callee must not inline");
+    }
+
+    #[test]
+    fn no_self_inlining() {
+        // A candidate-shaped function calling a candidate still works; the
+        // candidate itself is not mutated into infinite growth.
+        let mut m = idx_module();
+        run(&mut m);
+        run(&mut m); // second round is a no-op
+        verify_module(&m).unwrap();
+    }
+
+    #[test]
+    fn float_and_void_results() {
+        let mut m = Module::new();
+        let mut h = FuncBuilder::new("half", vec![Ty::F64], Some(Ty::F64));
+        let p = h.params()[0];
+        let r = h.fbin(crate::instr::FBinOp::Mul, p, Operand::ConstF(0.5));
+        h.ret(Some(r));
+        let half = m.add_function(h.finish());
+        let mut b = FuncBuilder::new("main", vec![], Some(Ty::I64));
+        let x = b.call(half, vec![Operand::ConstF(9.0)], Some(Ty::F64)).unwrap();
+        let i = b.cast(crate::instr::CastOp::FToSi, x);
+        b.ret(Some(i));
+        m.add_function(b.finish());
+        assert_eq!(run(&mut m), 1);
+        verify_module(&m).unwrap();
+        assert_eq!(Interp::new(&m, 1000).run().unwrap().exit_code, 4);
+    }
+}

@@ -1,0 +1,326 @@
+//! Loop-invariant code motion.
+//!
+//! Hoists pure, non-trapping instructions whose operands are loop-invariant
+//! into a preheader. Loops are natural loops found via back edges
+//! (`latch -> header` where the header dominates the latch); a preheader is
+//! only created when the header has exactly one entry edge (always true for
+//! frontend-generated loops).
+
+use crate::dom::DomTree;
+use crate::instr::{IBinOp, Instr, Operand, Terminator};
+use crate::module::{BlockId, Function, InstrData, ValueId};
+use std::collections::{HashMap, HashSet};
+
+/// Run LICM on one function. Returns the number of instructions hoisted.
+pub fn run(f: &mut Function) -> usize {
+    let mut total = 0;
+    // Iterate: hoisting can expose more loops' invariants; bounded passes.
+    for _ in 0..2 {
+        let n = run_once(f);
+        total += n;
+        if n == 0 {
+            break;
+        }
+    }
+    total
+}
+
+fn run_once(f: &mut Function) -> usize {
+    let dt = DomTree::compute(f);
+    let preds = f.predecessors();
+
+    // --- Find natural loops: back edges latch -> header.
+    let mut loops: Vec<(BlockId, HashSet<BlockId>)> = Vec::new(); // (header, body)
+    for (bi, b) in f.blocks.iter().enumerate() {
+        for s in b.successors() {
+            let latch = BlockId(bi as u32);
+            if dt.idom[s.index()].is_some() && dt.dominates(s, latch) {
+                // body = {header} ∪ nodes that reach latch without header
+                let header = s;
+                let mut body: HashSet<BlockId> = HashSet::new();
+                body.insert(header);
+                let mut stack = vec![latch];
+                while let Some(n) = stack.pop() {
+                    if body.insert(n) {
+                        for &p in &preds[n.index()] {
+                            stack.push(p);
+                        }
+                    }
+                }
+                loops.push((header, body));
+            }
+        }
+    }
+    // Inner loops first (smaller bodies).
+    loops.sort_by_key(|(_, body)| body.len());
+
+    // --- Definition block of every value.
+    let mut def_block: HashMap<ValueId, BlockId> = HashMap::new();
+    for (bi, b) in f.blocks.iter().enumerate() {
+        for id in &b.instrs {
+            if let Some(r) = id.result {
+                def_block.insert(r, BlockId(bi as u32));
+            }
+        }
+    }
+
+    let mut hoisted_total = 0;
+    for (header, body) in loops {
+        // One entry edge only.
+        let outside: Vec<BlockId> = preds[header.index()]
+            .iter()
+            .copied()
+            .filter(|p| !body.contains(p))
+            .collect();
+        if outside.len() != 1 {
+            continue;
+        }
+        let entry = outside[0];
+        // The entry must branch unconditionally to the header for in-place
+        // appending to be safe (true for frontend loops; skip otherwise).
+        if !matches!(f.block(entry).term, Some(Terminator::Br(t)) if t == header) {
+            continue;
+        }
+
+        // Collect hoistable instructions (fixpoint within the loop).
+        let mut hoisted_vals: HashSet<ValueId> = HashSet::new();
+        let mut moves: Vec<(BlockId, usize)> = Vec::new();
+        loop {
+            let mut changed = false;
+            for &bb in &body {
+                for (ii, id) in f.blocks[bb.index()].instrs.iter().enumerate() {
+                    if moves.contains(&(bb, ii)) {
+                        continue;
+                    }
+                    if !hoistable(&id.instr) {
+                        continue;
+                    }
+                    let Some(res) = id.result else { continue };
+                    if hoisted_vals.contains(&res) {
+                        continue;
+                    }
+                    let mut invariant = true;
+                    id.instr.for_each_operand(&mut |op| {
+                        if let Some(v) = op.as_value() {
+                            match def_block.get(&v) {
+                                Some(db) if body.contains(db) && !hoisted_vals.contains(&v) => {
+                                    invariant = false
+                                }
+                                _ => {}
+                            }
+                        }
+                    });
+                    if invariant {
+                        hoisted_vals.insert(res);
+                        moves.push((bb, ii));
+                        changed = true;
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        if moves.is_empty() {
+            continue;
+        }
+
+        // Move them (in discovery order, which respects dependencies) to the
+        // end of the entry block, before its terminator.
+        let mut payload: Vec<InstrData> = Vec::with_capacity(moves.len());
+        // Remove from the back so indices stay valid: sort per block desc.
+        let mut by_block: HashMap<BlockId, Vec<usize>> = HashMap::new();
+        for &(bb, ii) in &moves {
+            by_block.entry(bb).or_default().push(ii);
+        }
+        // Extract in discovery order (dependency order matters in payload).
+        let mut extracted: HashMap<(BlockId, usize), InstrData> = HashMap::new();
+        for (bb, mut idxs) in by_block {
+            idxs.sort_unstable_by(|a, b| b.cmp(a));
+            for ii in idxs {
+                let id = f.blocks[bb.index()].instrs.remove(ii);
+                extracted.insert((bb, ii), id);
+            }
+        }
+        for key in &moves {
+            payload.push(extracted.remove(key).expect("extracted"));
+        }
+        for id in payload.iter() {
+            if let Some(r) = id.result {
+                def_block.insert(r, entry);
+            }
+        }
+        hoisted_total += payload.len();
+        f.blocks[entry.index()].instrs.extend(payload);
+    }
+    hoisted_total
+}
+
+/// Safe to execute speculatively: pure and never trapping. Division and
+/// remainder trap on zero divisors, so they only hoist with a non-zero
+/// constant divisor.
+fn hoistable(i: &Instr) -> bool {
+    if !i.is_pure() || i.is_phi() {
+        return false;
+    }
+    match i {
+        Instr::IBin { op: IBinOp::Div | IBinOp::Rem, b, .. } => {
+            matches!(b, Operand::ConstI(c) if *c != 0 && *c != -1)
+        }
+        _ => true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FuncBuilder;
+    use crate::instr::{IBinOp, IPred};
+    use crate::interp::Interp;
+    use crate::module::{Module, Ty};
+    use crate::verify::verify_module;
+
+    /// sum of i*K for i in 0..n where K = a*b is invariant.
+    fn loop_with_invariant() -> Module {
+        let mut m = Module::new();
+        let mut b = FuncBuilder::new("main", vec![], Some(Ty::I64));
+        let h = b.add_block("h");
+        let body = b.add_block("body");
+        let e = b.add_block("e");
+        b.br(h);
+        b.switch_to(h);
+        let i = b.phi(Ty::I64, vec![(BlockId(0), Operand::ConstI(0))]);
+        let s = b.phi(Ty::I64, vec![(BlockId(0), Operand::ConstI(0))]);
+        let c = b.icmp(IPred::Slt, i, Operand::ConstI(10));
+        b.cond_br(c, body, e);
+        b.switch_to(body);
+        // Invariant computation inside the loop.
+        let k1 = b.ibin(IBinOp::Mul, Operand::ConstI(6), Operand::ConstI(7));
+        let k2 = b.ibin(IBinOp::Add, k1, Operand::ConstI(8));
+        let term = b.ibin(IBinOp::Mul, i, k2);
+        let s2 = b.ibin(IBinOp::Add, s, term);
+        let i2 = b.ibin(IBinOp::Add, i, Operand::ConstI(1));
+        b.add_incoming(i, body, i2);
+        b.add_incoming(s, body, s2);
+        b.br(h);
+        b.switch_to(e);
+        b.ret(Some(s));
+        m.add_function(b.finish());
+        m
+    }
+
+    #[test]
+    fn hoists_invariants_and_preserves_semantics() {
+        let mut m = loop_with_invariant();
+        let before = Interp::new(&m, 100_000).run().unwrap();
+        let n = run(&mut m.funcs[0]);
+        assert!(n >= 2, "k1 and k2 must hoist, got {n}");
+        verify_module(&m).unwrap();
+        let after = Interp::new(&m, 100_000).run().unwrap();
+        assert_eq!(before.exit_code, after.exit_code);
+        assert_eq!(after.exit_code, 2250); // sum(i*50, i<10) = 45*50
+        assert!(
+            after.instrs_executed < before.instrs_executed,
+            "LICM must reduce dynamic work"
+        );
+        // Hoisted code lives in the entry block now.
+        assert!(m.funcs[0].blocks[0]
+            .instrs
+            .iter()
+            .any(|i| matches!(i.instr, Instr::IBin { op: IBinOp::Mul, .. })));
+    }
+
+    #[test]
+    fn does_not_hoist_variant_or_trapping() {
+        let mut m = Module::new();
+        let mut b = FuncBuilder::new("main", vec![Ty::I64], Some(Ty::I64));
+        let h = b.add_block("h");
+        let body = b.add_block("body");
+        let e = b.add_block("e");
+        let p = b.params()[0];
+        b.br(h);
+        b.switch_to(h);
+        let i = b.phi(Ty::I64, vec![(BlockId(0), Operand::ConstI(1))]);
+        let c = b.icmp(IPred::Slt, i, Operand::ConstI(5));
+        b.cond_br(c, body, e);
+        b.switch_to(body);
+        // i-dependent (variant): must stay.
+        let v = b.ibin(IBinOp::Mul, i, Operand::ConstI(3));
+        // Trapping with a non-constant divisor: must stay even though p is
+        // invariant (p could be zero and the loop might never execute).
+        let d = b.ibin(IBinOp::Div, Operand::ConstI(100), p);
+        let t = b.ibin(IBinOp::Add, v, d);
+        let i2 = b.ibin(IBinOp::Add, i, Operand::ConstI(1));
+        let _ = t;
+        b.add_incoming(i, body, i2);
+        b.br(h);
+        b.switch_to(e);
+        b.ret(Some(i));
+        m.add_function(b.finish());
+        run(&mut m.funcs[0]);
+        verify_module(&m).unwrap();
+        let body_instrs = &m.funcs[0].blocks[2].instrs;
+        assert!(
+            body_instrs.iter().any(|x| matches!(x.instr, Instr::IBin { op: IBinOp::Div, .. })),
+            "trapping div must not be hoisted"
+        );
+        assert!(
+            body_instrs.iter().any(|x| matches!(x.instr, Instr::IBin { op: IBinOp::Mul, .. })),
+            "variant mul must not be hoisted"
+        );
+    }
+
+    #[test]
+    fn nested_loops_hoist_outward() {
+        // Outer loop runs 3x, inner 4x; an invariant inside the inner loop
+        // should leave at least the inner loop.
+        let src_m = {
+            let mut m = Module::new();
+            let mut b = FuncBuilder::new("main", vec![], Some(Ty::I64));
+            let oh = b.add_block("oh");
+            let ob = b.add_block("ob");
+            let ih = b.add_block("ih");
+            let ib = b.add_block("ib");
+            let ie = b.add_block("ie");
+            let oe = b.add_block("oe");
+            b.br(oh);
+            b.switch_to(oh);
+            let i = b.phi(Ty::I64, vec![(BlockId(0), Operand::ConstI(0))]);
+            let acc = b.phi(Ty::I64, vec![(BlockId(0), Operand::ConstI(0))]);
+            let ci = b.icmp(IPred::Slt, i, Operand::ConstI(3));
+            b.cond_br(ci, ob, oe);
+            b.switch_to(ob);
+            b.br(ih);
+            b.switch_to(ih);
+            let j = b.phi(Ty::I64, vec![(ob, Operand::ConstI(0))]);
+            let a2 = b.phi(Ty::I64, vec![(ob, acc)]);
+            let cj = b.icmp(IPred::Slt, j, Operand::ConstI(4));
+            b.cond_br(cj, ib, ie);
+            b.switch_to(ib);
+            let k = b.ibin(IBinOp::Mul, Operand::ConstI(5), Operand::ConstI(9)); // invariant
+            let a3 = b.ibin(IBinOp::Add, a2, k);
+            let j2 = b.ibin(IBinOp::Add, j, Operand::ConstI(1));
+            b.add_incoming(j, ib, j2);
+            b.add_incoming(a2, ib, a3);
+            b.br(ih);
+            b.switch_to(ie);
+            let i2 = b.ibin(IBinOp::Add, i, Operand::ConstI(1));
+            b.add_incoming(i, ie, i2);
+            b.add_incoming(acc, ie, a2);
+            b.br(oh);
+            b.switch_to(oe);
+            b.ret(Some(acc));
+            m.add_function(b.finish());
+            m
+        };
+        let mut m = src_m;
+        let before = Interp::new(&m, 100_000).run().unwrap();
+        let n = run(&mut m.funcs[0]);
+        assert!(n >= 1);
+        verify_module(&m).unwrap();
+        let after = Interp::new(&m, 100_000).run().unwrap();
+        assert_eq!(before.exit_code, after.exit_code);
+        assert_eq!(after.exit_code, 3 * 4 * 45);
+        assert!(after.instrs_executed < before.instrs_executed);
+    }
+}

@@ -1,0 +1,365 @@
+//! Promote single-word, non-escaping allocas to SSA values.
+//!
+//! This is the pass whose *absence* LLFI-style tools effectively suffer from
+//! when their instrumentation pins values to memory; with it, the benchmark
+//! kernels compile to register-resident loops like the paper's Listing 2b.
+
+use super::Subst;
+use crate::dom::DomTree;
+use crate::instr::{Instr, Operand};
+use crate::module::{BlockId, Function, InstrData, Ty, ValueId};
+use std::collections::{HashMap, HashSet};
+
+/// Run mem2reg on one function. Returns `true` if anything was promoted.
+pub fn run(f: &mut Function) -> bool {
+    let candidates = promotable_allocas(f);
+    if candidates.is_empty() {
+        return false;
+    }
+
+    let dt = DomTree::compute(f);
+    let preds = f.predecessors();
+
+    // ---- Phi insertion at iterated dominance frontiers of store blocks.
+    // For each candidate alloca: the set of blocks containing stores to it.
+    let mut def_blocks: HashMap<ValueId, Vec<BlockId>> = HashMap::new();
+    for (bi, b) in f.blocks.iter().enumerate() {
+        for id in &b.instrs {
+            if let Instr::Store { addr: Operand::Value(a), .. } = &id.instr {
+                if candidates.contains_key(a) {
+                    def_blocks.entry(*a).or_default().push(BlockId(bi as u32));
+                }
+            }
+        }
+    }
+
+    // phi result value -> alloca it materializes
+    let mut phi_of: HashMap<ValueId, ValueId> = HashMap::new();
+    // (block, alloca) -> phi value, to fill incomings during renaming
+    let mut block_phi: HashMap<(BlockId, ValueId), ValueId> = HashMap::new();
+
+    // Deterministic iteration order: value-id order (a HashMap walk here
+    // would make compilation output depend on hasher state).
+    let mut ordered: Vec<(ValueId, Ty)> = candidates.iter().map(|(v, t)| (*v, *t)).collect();
+    ordered.sort_by_key(|(v, _)| *v);
+    for &(alloca, ty) in &ordered {
+        let mut work: Vec<BlockId> = def_blocks.get(&alloca).cloned().unwrap_or_default();
+        let mut placed: HashSet<BlockId> = HashSet::new();
+        let mut on_work: HashSet<BlockId> = work.iter().copied().collect();
+        while let Some(b) = work.pop() {
+            for &df in &dt.frontier[b.index()] {
+                if placed.insert(df) {
+                    let phi_val = f.new_value(ty);
+                    f.blocks[df.index()].instrs.insert(
+                        0,
+                        InstrData {
+                            instr: Instr::Phi { incomings: vec![], ty },
+                            result: Some(phi_val),
+                        },
+                    );
+                    phi_of.insert(phi_val, alloca);
+                    block_phi.insert((df, alloca), phi_val);
+                    if on_work.insert(df) {
+                        work.push(df);
+                    }
+                }
+            }
+        }
+    }
+
+    // ---- Renaming along the dominator tree.
+    let mut subst = Subst::default();
+    let mut kill: HashSet<(usize, usize)> = HashSet::new(); // (block, instr index)
+    // DFS with explicit stack carrying the current value of each alloca.
+    type Env = HashMap<ValueId, Operand>;
+    let default_value = |ty: Ty| match ty {
+        Ty::F64 => Operand::ConstF(0.0),
+        _ => Operand::ConstI(0),
+    };
+    let mut stack: Vec<(BlockId, Env)> = vec![(BlockId(0), Env::new())];
+    let mut visited = vec![false; f.blocks.len()];
+    while let Some((b, mut env)) = stack.pop() {
+        if visited[b.index()] {
+            continue;
+        }
+        visited[b.index()] = true;
+        for (ii, id) in f.blocks[b.index()].instrs.iter().enumerate() {
+            match (&id.instr, id.result) {
+                (Instr::Phi { .. }, Some(res)) if phi_of.contains_key(&res) => {
+                    env.insert(phi_of[&res], Operand::Value(res));
+                }
+                (Instr::Alloca { .. }, Some(res)) if candidates.contains_key(&res) => {
+                    kill.insert((b.index(), ii));
+                }
+                (Instr::Load { addr: Operand::Value(a), ty }, Some(res))
+                    if candidates.contains_key(a) =>
+                {
+                    let cur = env
+                        .get(a)
+                        .copied()
+                        .map(|op| subst.resolve(op))
+                        .unwrap_or_else(|| default_value(*ty));
+                    subst.insert(res, cur);
+                    kill.insert((b.index(), ii));
+                }
+                (Instr::Store { addr: Operand::Value(a), val, .. }, _)
+                    if candidates.contains_key(a) =>
+                {
+                    env.insert(*a, subst.resolve(*val));
+                    kill.insert((b.index(), ii));
+                }
+                _ => {}
+            }
+        }
+        // Fill phi incomings in CFG successors.
+        for s in f.blocks[b.index()].successors() {
+            for id in &mut f.blocks[s.index()].instrs {
+                let Some(res) = id.result else { continue };
+                let Some(&alloca) = phi_of.get(&res) else { continue };
+                if let Instr::Phi { incomings, ty } = &mut id.instr {
+                    let cur = env
+                        .get(&alloca)
+                        .copied()
+                        .map(|op| subst.resolve(op))
+                        .unwrap_or_else(|| default_value(*ty));
+                    incomings.push((b, cur));
+                }
+            }
+        }
+        // Recurse into dominator-tree children (every reachable block is
+        // dominated by the entry, so this visits everything).
+        for &c in &dt.children[b.index()] {
+            stack.push((c, env.clone()));
+        }
+        // Also push CFG successors not dominated by us, to make sure phi
+        // incomings from *this* edge were recorded above even if the block is
+        // visited via the dom tree; visiting is guarded by `visited`.
+        let _ = &preds;
+    }
+
+    // ---- Drop promoted loads/stores/allocas and apply the substitution.
+    for (bi, block) in f.blocks.iter_mut().enumerate() {
+        let mut ii = 0usize;
+        let mut orig = 0usize;
+        block.instrs.retain(|_| {
+            let keep = !kill.contains(&(bi, orig));
+            orig += 1;
+            if keep {
+                ii += 1;
+            }
+            keep
+        });
+        let _ = ii;
+    }
+    subst.apply(f);
+
+    // Resolve phi-incoming chains created during renaming (an incoming may
+    // reference a load value substituted later).
+    for b in &mut f.blocks {
+        for id in &mut b.instrs {
+            if let Instr::Phi { incomings, .. } = &mut id.instr {
+                for (_, op) in incomings {
+                    *op = subst.resolve(*op);
+                }
+            }
+        }
+    }
+    true
+}
+
+/// Allocas that are single 8-byte words and only ever used directly as the
+/// address of loads/stores (no address arithmetic, no escaping).
+fn promotable_allocas(f: &Function) -> HashMap<ValueId, Ty> {
+    let mut info: HashMap<ValueId, (bool, Option<Ty>)> = HashMap::new(); // value -> (ok, ty)
+    for b in &f.blocks {
+        for id in &b.instrs {
+            if let (Instr::Alloca { words: 1 }, Some(res)) = (&id.instr, id.result) {
+                info.insert(res, (true, None));
+            }
+        }
+    }
+    if info.is_empty() {
+        return HashMap::new();
+    }
+    // Examine all uses.
+    for b in &f.blocks {
+        for id in &b.instrs {
+            match &id.instr {
+                Instr::Load { addr: Operand::Value(a), ty } => {
+                    if let Some(e) = info.get_mut(a) {
+                        match e.1 {
+                            None => e.1 = Some(*ty),
+                            Some(t) if t == *ty => {}
+                            _ => e.0 = false, // mixed-type access: leave in memory
+                        }
+                    }
+                }
+                Instr::Store { addr: Operand::Value(a), val, ty } => {
+                    // The stored *value* being the alloca address = escape.
+                    if let Some(v) = val.as_value() {
+                        if let Some(e) = info.get_mut(&v) {
+                            e.0 = false;
+                        }
+                    }
+                    if let Some(e) = info.get_mut(a) {
+                        match e.1 {
+                            None => e.1 = Some(*ty),
+                            Some(t) if t == *ty => {}
+                            _ => e.0 = false,
+                        }
+                    }
+                }
+                other => {
+                    // Any other appearance disqualifies the alloca.
+                    other.for_each_operand(&mut |op| {
+                        if let Some(v) = op.as_value() {
+                            if let Some(e) = info.get_mut(&v) {
+                                e.0 = false;
+                            }
+                        }
+                    });
+                }
+            }
+        }
+        if let Some(t) = &b.term {
+            let mut t = t.clone();
+            t.for_each_operand_mut(&mut |op| {
+                if let Some(v) = op.as_value() {
+                    if let Some(e) = info.get_mut(&v) {
+                        e.0 = false;
+                    }
+                }
+            });
+        }
+    }
+    info.into_iter()
+        .filter_map(|(v, (ok, ty))| {
+            if ok {
+                Some((v, ty.unwrap_or(Ty::I64)))
+            } else {
+                None
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FuncBuilder;
+    use crate::instr::{IBinOp, IPred};
+    use crate::interp::Interp;
+    use crate::module::Module;
+    use crate::verify::verify_module;
+
+    /// Build sum 0..n with a memory counter; after mem2reg there must be no
+    /// loads/stores left and the semantics must be unchanged.
+    #[test]
+    fn promotes_loop_counter() {
+        let mut m = Module::new();
+        let mut b = FuncBuilder::new("main", vec![], Some(Ty::I64));
+        let iv = b.alloca(1);
+        let sv = b.alloca(1);
+        b.store(iv, Operand::ConstI(0), Ty::I64);
+        b.store(sv, Operand::ConstI(0), Ty::I64);
+        let h = b.add_block("h");
+        let body = b.add_block("body");
+        let e = b.add_block("e");
+        b.br(h);
+        b.switch_to(h);
+        let i = b.load(iv, Ty::I64);
+        let c = b.icmp(IPred::Slt, i, Operand::ConstI(5));
+        b.cond_br(c, body, e);
+        b.switch_to(body);
+        let s = b.load(sv, Ty::I64);
+        let s2 = b.ibin(IBinOp::Add, s, i);
+        b.store(sv, s2, Ty::I64);
+        let i2 = b.ibin(IBinOp::Add, i, Operand::ConstI(1));
+        b.store(iv, i2, Ty::I64);
+        b.br(h);
+        b.switch_to(e);
+        let r = b.load(sv, Ty::I64);
+        b.ret(Some(r));
+        m.add_function(b.finish());
+
+        let before = Interp::new(&m, 100_000).run().unwrap().exit_code;
+        let changed = run(&mut m.funcs[0]);
+        assert!(changed);
+        verify_module(&m).unwrap();
+        for blk in &m.funcs[0].blocks {
+            for id in &blk.instrs {
+                assert!(
+                    !matches!(id.instr, Instr::Load { .. } | Instr::Store { .. } | Instr::Alloca { .. }),
+                    "memory op survived mem2reg: {:?}",
+                    id.instr
+                );
+            }
+        }
+        let after = Interp::new(&m, 100_000).run().unwrap().exit_code;
+        assert_eq!(before, after);
+        assert_eq!(after, 10);
+    }
+
+    /// Array allocas (words > 1) and escaping allocas must not be promoted.
+    #[test]
+    fn leaves_arrays_alone() {
+        let mut m = Module::new();
+        let mut b = FuncBuilder::new("main", vec![], Some(Ty::I64));
+        let arr = b.alloca(4);
+        let p = b.elem(arr, Operand::ConstI(2));
+        b.store(p, Operand::ConstI(9), Ty::I64);
+        let v = b.load(p, Ty::I64);
+        b.ret(Some(v));
+        m.add_function(b.finish());
+        let changed = run(&mut m.funcs[0]);
+        assert!(!changed);
+        let r = Interp::new(&m, 1000).run().unwrap();
+        assert_eq!(r.exit_code, 9);
+    }
+
+    /// Loads before any store read zero (mirrors zero-initialized stack).
+    #[test]
+    fn undefined_load_becomes_zero() {
+        let mut m = Module::new();
+        let mut b = FuncBuilder::new("main", vec![], Some(Ty::I64));
+        let a = b.alloca(1);
+        let v = b.load(a, Ty::I64);
+        b.ret(Some(v));
+        m.add_function(b.finish());
+        run(&mut m.funcs[0]);
+        verify_module(&m).unwrap();
+        assert_eq!(Interp::new(&m, 1000).run().unwrap().exit_code, 0);
+    }
+
+    /// Diamond with stores on both sides must produce a phi at the join.
+    #[test]
+    fn inserts_phi_at_join() {
+        let mut m = Module::new();
+        let mut b = FuncBuilder::new("main", vec![Ty::I64], Some(Ty::I64));
+        let p = b.params()[0];
+        let a = b.alloca(1);
+        let t = b.add_block("t");
+        let f = b.add_block("f");
+        let j = b.add_block("j");
+        let c = b.icmp(IPred::Sgt, p, Operand::ConstI(0));
+        b.cond_br(c, t, f);
+        b.switch_to(t);
+        b.store(a, Operand::ConstI(100), Ty::I64);
+        b.br(j);
+        b.switch_to(f);
+        b.store(a, Operand::ConstI(200), Ty::I64);
+        b.br(j);
+        b.switch_to(j);
+        let v = b.load(a, Ty::I64);
+        b.ret(Some(v));
+        m.add_function(b.finish());
+        run(&mut m.funcs[0]);
+        verify_module(&m).unwrap();
+        let has_phi = m.funcs[0]
+            .blocks
+            .iter()
+            .flat_map(|b| &b.instrs)
+            .any(|i| i.instr.is_phi());
+        assert!(has_phi, "expected a phi at the join block");
+    }
+}

@@ -1,0 +1,252 @@
+//! CFG cleanup: constant-branch folding, unreachable-block removal, and
+//! straight-line block merging.
+
+use super::Subst;
+use crate::instr::{Instr, Operand, Terminator};
+use crate::module::{BlockId, Function};
+
+/// Run CFG simplification on `f`. Returns `true` on change.
+pub fn run(f: &mut Function) -> bool {
+    let mut changed = false;
+    changed |= fold_const_branches(f);
+    changed |= merge_straightline(f);
+    changed |= remove_unreachable(f);
+    changed
+}
+
+/// `condbr` on a constant (or with identical targets) becomes `br`.
+fn fold_const_branches(f: &mut Function) -> bool {
+    let mut changed = false;
+    let mut retargets: Vec<(BlockId, BlockId, BlockId)> = Vec::new(); // (block, dead edge target, kept)
+    for (bi, b) in f.blocks.iter_mut().enumerate() {
+        if let Some(Terminator::CondBr { cond, t, f: fb }) = &b.term {
+            let (t, fb) = (*t, *fb);
+            let keep = match cond {
+                Operand::ConstI(c) => Some(if *c != 0 { t } else { fb }),
+                _ if t == fb => Some(t),
+                _ => None,
+            };
+            if let Some(k) = keep {
+                let dead = if k == t { fb } else { t };
+                b.term = Some(Terminator::Br(k));
+                if dead != k {
+                    retargets.push((BlockId(bi as u32), dead, k));
+                }
+                changed = true;
+            }
+        }
+    }
+    // Remove phi incomings along deleted edges.
+    for (src, dead, _kept) in retargets {
+        for id in &mut f.blocks[dead.index()].instrs {
+            if let Instr::Phi { incomings, .. } = &mut id.instr {
+                incomings.retain(|(p, _)| *p != src);
+            }
+        }
+    }
+    changed
+}
+
+/// Merge `b -> s` chains where `s` has exactly one predecessor.
+fn merge_straightline(f: &mut Function) -> bool {
+    let mut changed = false;
+    loop {
+        let preds = f.predecessors();
+        let mut merged_once = false;
+        for bi in 0..f.blocks.len() {
+            let Some(Terminator::Br(s)) = f.blocks[bi].term else { continue };
+            if s.index() == 0 || s.index() == bi {
+                continue; // never merge the entry block or self-loops
+            }
+            if preds[s.index()].len() != 1 {
+                continue;
+            }
+            // Resolve phis in `s`: single predecessor means each phi is just
+            // its lone incoming value.
+            let mut subst = Subst::default();
+            let succ_instrs = std::mem::take(&mut f.blocks[s.index()].instrs);
+            let mut moved = Vec::with_capacity(succ_instrs.len());
+            for id in succ_instrs {
+                if let Instr::Phi { incomings, .. } = &id.instr {
+                    assert_eq!(incomings.len(), 1, "single-pred block phi");
+                    subst.insert(id.result.unwrap(), incomings[0].1);
+                } else {
+                    moved.push(id);
+                }
+            }
+            let succ_term = f.blocks[s.index()].term.take();
+            f.blocks[bi].instrs.extend(moved);
+            f.blocks[bi].term = succ_term;
+            // `s` becomes unreachable; fix phi incomings in s's successors to
+            // point at `bi` instead.
+            let new_pred = BlockId(bi as u32);
+            for t in f.blocks[bi].successors() {
+                for id in &mut f.blocks[t.index()].instrs {
+                    if let Instr::Phi { incomings, .. } = &mut id.instr {
+                        for (p, _) in incomings.iter_mut() {
+                            if *p == s {
+                                *p = new_pred;
+                            }
+                        }
+                    }
+                }
+            }
+            subst.apply(f);
+            changed = true;
+            merged_once = true;
+            break; // predecessor lists are stale; recompute
+        }
+        if !merged_once {
+            break;
+        }
+    }
+    changed
+}
+
+/// Drop unreachable blocks and renumber the survivors.
+fn remove_unreachable(f: &mut Function) -> bool {
+    let rpo = f.reverse_postorder();
+    if rpo.len() == f.blocks.len() {
+        return false;
+    }
+    let mut keep = vec![false; f.blocks.len()];
+    for b in &rpo {
+        keep[b.index()] = true;
+    }
+    // Purge phi incomings that arrive from dying blocks.
+    for b in &mut f.blocks {
+        for id in &mut b.instrs {
+            if let Instr::Phi { incomings, .. } = &mut id.instr {
+                incomings.retain(|(p, _)| keep[p.index()]);
+            }
+        }
+    }
+    // Build the renumbering.
+    let mut remap = vec![BlockId(u32::MAX); f.blocks.len()];
+    let mut next = 0u32;
+    for (i, k) in keep.iter().enumerate() {
+        if *k {
+            remap[i] = BlockId(next);
+            next += 1;
+        }
+    }
+    let mut old = std::mem::take(&mut f.blocks);
+    f.blocks = old
+        .drain(..)
+        .enumerate()
+        .filter(|(i, _)| keep[*i])
+        .map(|(_, b)| b)
+        .collect();
+    for b in &mut f.blocks {
+        for id in &mut b.instrs {
+            if let Instr::Phi { incomings, .. } = &mut id.instr {
+                for (p, _) in incomings.iter_mut() {
+                    *p = remap[p.index()];
+                }
+            }
+        }
+        match &mut b.term {
+            Some(Terminator::Br(t)) => *t = remap[t.index()],
+            Some(Terminator::CondBr { t, f: fb, .. }) => {
+                *t = remap[t.index()];
+                *fb = remap[fb.index()];
+            }
+            _ => {}
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FuncBuilder;
+    use crate::instr::{IBinOp, IPred};
+    use crate::interp::Interp;
+    use crate::module::{Module, Ty};
+    use crate::verify::verify_module;
+
+    #[test]
+    fn folds_constant_branch_and_removes_dead_arm() {
+        let mut m = Module::new();
+        let mut b = FuncBuilder::new("main", vec![], Some(Ty::I64));
+        let t = b.add_block("t");
+        let fb = b.add_block("f");
+        b.cond_br(Operand::ConstI(1), t, fb);
+        b.switch_to(t);
+        b.ret(Some(Operand::ConstI(1)));
+        b.switch_to(fb);
+        b.ret(Some(Operand::ConstI(2)));
+        m.add_function(b.finish());
+        assert!(run(&mut m.funcs[0]));
+        verify_module(&m).unwrap();
+        // Dead arm removed; t merged into entry leaves one block.
+        assert_eq!(m.funcs[0].blocks.len(), 1);
+        assert_eq!(Interp::new(&m, 100).run().unwrap().exit_code, 1);
+    }
+
+    #[test]
+    fn merges_chain_of_blocks() {
+        let mut m = Module::new();
+        let mut b = FuncBuilder::new("main", vec![], Some(Ty::I64));
+        let b1 = b.add_block("b1");
+        let b2 = b.add_block("b2");
+        let x = b.ibin(IBinOp::Add, Operand::ConstI(1), Operand::ConstI(2));
+        b.br(b1);
+        b.switch_to(b1);
+        let y = b.ibin(IBinOp::Add, x, Operand::ConstI(3));
+        b.br(b2);
+        b.switch_to(b2);
+        b.ret(Some(y));
+        m.add_function(b.finish());
+        assert!(run(&mut m.funcs[0]));
+        verify_module(&m).unwrap();
+        assert_eq!(m.funcs[0].blocks.len(), 1);
+        assert_eq!(Interp::new(&m, 100).run().unwrap().exit_code, 6);
+    }
+
+    #[test]
+    fn loop_structure_survives() {
+        let mut m = Module::new();
+        let mut b = FuncBuilder::new("main", vec![], Some(Ty::I64));
+        let h = b.add_block("h");
+        let body = b.add_block("body");
+        let e = b.add_block("e");
+        b.br(h);
+        b.switch_to(h);
+        let i = b.phi(Ty::I64, vec![(BlockId(0), Operand::ConstI(0))]);
+        let c = b.icmp(IPred::Slt, i, Operand::ConstI(3));
+        b.cond_br(c, body, e);
+        b.switch_to(body);
+        let i2 = b.ibin(IBinOp::Add, i, Operand::ConstI(1));
+        b.add_incoming(i, body, i2);
+        b.br(h);
+        b.switch_to(e);
+        b.ret(Some(i));
+        m.add_function(b.finish());
+        run(&mut m.funcs[0]);
+        verify_module(&m).unwrap();
+        assert_eq!(Interp::new(&m, 1000).run().unwrap().exit_code, 3);
+    }
+
+    #[test]
+    fn phi_incoming_retargeted_after_merge() {
+        // entry -> mid -> join; entry -> join. mid merges nothing (join has 2
+        // preds) but folding a const branch can retarget; exercise phi fixups
+        // via unreachable removal.
+        let mut m = Module::new();
+        let mut b = FuncBuilder::new("main", vec![], Some(Ty::I64));
+        let mid = b.add_block("mid");
+        let join = b.add_block("join");
+        b.cond_br(Operand::ConstI(0), mid, join);
+        b.switch_to(mid);
+        b.br(join);
+        b.switch_to(join);
+        let p = b.phi(Ty::I64, vec![(BlockId(0), Operand::ConstI(5)), (mid, Operand::ConstI(9))]);
+        b.ret(Some(p));
+        m.add_function(b.finish());
+        assert!(run(&mut m.funcs[0]));
+        verify_module(&m).unwrap();
+        assert_eq!(Interp::new(&m, 100).run().unwrap().exit_code, 5);
+    }
+}

@@ -1,0 +1,123 @@
+//! Critical-edge splitting, run by the backend before phi lowering.
+//!
+//! An edge P -> S is critical when P has several successors and S has
+//! several predecessors; phi-elimination copies cannot be placed at either
+//! end of such an edge without corrupting another path, so a trampoline
+//! block is inserted on it.
+
+use crate::instr::{Instr, Terminator};
+use crate::module::{BlockId, Function};
+
+/// Split all critical edges of `f`. Returns the number of edges split.
+pub fn run(f: &mut Function) -> usize {
+    let mut split = 0;
+    loop {
+        let preds = f.predecessors();
+        let mut found: Option<(BlockId, BlockId)> = None;
+        'outer: for (bi, b) in f.blocks.iter().enumerate() {
+            let succs = b.successors();
+            if succs.len() < 2 {
+                continue;
+            }
+            for s in succs {
+                if preds[s.index()].len() >= 2 {
+                    found = Some((BlockId(bi as u32), s));
+                    break 'outer;
+                }
+            }
+        }
+        let Some((p, s)) = found else { break };
+        let tramp = f.add_block(format!("crit.{}.{}", p.0, s.0));
+        f.block_mut(tramp).term = Some(Terminator::Br(s));
+        // Retarget the edge p -> s through the trampoline.
+        match f.block_mut(p).term.as_mut().expect("terminated") {
+            Terminator::CondBr { t, f: fb, .. } => {
+                // Retarget only one edge; if both arms point at `s`, split
+                // iterations handle them one at a time.
+                if *t == s {
+                    *t = tramp;
+                } else if *fb == s {
+                    *fb = tramp;
+                }
+            }
+            _ => unreachable!("critical edge source must be a multi-way branch"),
+        }
+        // Phi incomings in `s` from `p` now arrive from the trampoline.
+        for id in &mut f.blocks[s.index()].instrs {
+            if let Instr::Phi { incomings, .. } = &mut id.instr {
+                for (pred, _) in incomings.iter_mut() {
+                    if *pred == p {
+                        *pred = tramp;
+                    }
+                }
+            }
+        }
+        split += 1;
+    }
+    split
+}
+
+/// True when `f` has no critical edges left.
+pub fn is_split(f: &Function) -> bool {
+    let preds = f.predecessors();
+    for b in &f.blocks {
+        let succs = b.successors();
+        if succs.len() < 2 {
+            continue;
+        }
+        for s in succs {
+            if preds[s.index()].len() >= 2 {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FuncBuilder;
+    use crate::instr::{IBinOp, IPred, Operand};
+    use crate::interp::Interp;
+    use crate::module::{Module, Ty};
+    use crate::verify::verify_module;
+
+    /// A loop with a conditional latch produces a critical back edge.
+    #[test]
+    fn splits_loop_backedge() {
+        let mut m = Module::new();
+        let mut b = FuncBuilder::new("main", vec![], Some(Ty::I64));
+        let h = b.add_block("h");
+        let e = b.add_block("e");
+        b.br(h);
+        b.switch_to(h);
+        let i = b.phi(Ty::I64, vec![(BlockId(0), Operand::ConstI(0))]);
+        let i2 = b.ibin(IBinOp::Add, i, Operand::ConstI(1));
+        b.add_incoming(i, h, i2);
+        let c = b.icmp(IPred::Slt, i2, Operand::ConstI(7));
+        b.cond_br(c, h, e); // h -> h is critical (h has 2 succ, h has 2 preds)
+        b.switch_to(e);
+        b.ret(Some(i2));
+        m.add_function(b.finish());
+
+        let before = Interp::new(&m, 10_000).run().unwrap().exit_code;
+        let n = run(&mut m.funcs[0]);
+        assert!(n >= 1);
+        assert!(is_split(&m.funcs[0]));
+        verify_module(&m).unwrap();
+        let after = Interp::new(&m, 10_000).run().unwrap().exit_code;
+        assert_eq!(before, after);
+        assert_eq!(after, 7);
+    }
+
+    #[test]
+    fn leaves_clean_cfgs_alone() {
+        let mut m = Module::new();
+        let mut b = FuncBuilder::new("main", vec![], Some(Ty::I64));
+        b.ret(Some(Operand::ConstI(0)));
+        m.add_function(b.finish());
+        assert_eq!(run(&mut m.funcs[0]), 0);
+        assert!(is_split(&m.funcs[0]));
+    }
+}

@@ -1,0 +1,232 @@
+//! Textual IR output in an LLVM-flavoured syntax.
+//!
+//! Used by `examples/codegen_interference.rs` to reproduce the paper's
+//! Listing 1a/2a (IR next to machine assembly).
+
+use crate::instr::{CastOp, FBinOp, FPred, IBinOp, IPred, Instr, Operand, Terminator};
+use crate::module::{Function, Module, ValueId};
+use std::fmt::Write;
+
+/// Render a whole module.
+pub fn print_module(m: &Module) -> String {
+    let mut s = String::new();
+    for (i, g) in m.globals.iter().enumerate() {
+        let _ = writeln!(s, "@{} = global [{} x i64] ; g{}", g.name, g.init.words(), i);
+    }
+    if !m.globals.is_empty() {
+        s.push('\n');
+    }
+    for f in &m.funcs {
+        s.push_str(&print_function(m, f));
+        s.push('\n');
+    }
+    s
+}
+
+/// Render one function.
+pub fn print_function(m: &Module, f: &Function) -> String {
+    let mut s = String::new();
+    let ret = f.ret.map(|t| t.to_string()).unwrap_or_else(|| "void".into());
+    let params: Vec<String> = f
+        .params
+        .iter()
+        .enumerate()
+        .map(|(i, t)| format!("{t} %{i}"))
+        .collect();
+    let _ = writeln!(s, "define {ret} @{}({}) {{", f.name, params.join(", "));
+    for (bi, b) in f.blocks.iter().enumerate() {
+        let _ = writeln!(s, "{}.{}:", b.name, bi);
+        for id in &b.instrs {
+            let lhs = match id.result {
+                Some(v) => format!("%{} = ", v.0),
+                None => String::new(),
+            };
+            let _ = writeln!(s, "  {}{}", lhs, print_instr(m, f, &id.instr));
+        }
+        match &b.term {
+            Some(Terminator::Br(t)) => {
+                let _ = writeln!(s, "  br label %{}.{}", f.blocks[t.index()].name, t.0);
+            }
+            Some(Terminator::CondBr { cond, t, f: fb }) => {
+                let _ = writeln!(
+                    s,
+                    "  br i1 {}, label %{}.{}, label %{}.{}",
+                    op_str(cond),
+                    f.blocks[t.index()].name,
+                    t.0,
+                    f.blocks[fb.index()].name,
+                    fb.0
+                );
+            }
+            Some(Terminator::Ret(Some(v))) => {
+                let _ = writeln!(s, "  ret {} {}", ret, op_str(v));
+            }
+            Some(Terminator::Ret(None)) => {
+                let _ = writeln!(s, "  ret void");
+            }
+            None => {
+                let _ = writeln!(s, "  <unterminated>");
+            }
+        }
+    }
+    s.push_str("}\n");
+    s
+}
+
+fn op_str(o: &Operand) -> String {
+    match o {
+        Operand::Value(ValueId(v)) => format!("%{v}"),
+        Operand::ConstI(c) => format!("{c}"),
+        Operand::ConstF(c) => format!("{c:?}"),
+        Operand::Global(g) => format!("@g{}", g.0),
+    }
+}
+
+fn ibin_name(op: IBinOp) -> &'static str {
+    match op {
+        IBinOp::Add => "add",
+        IBinOp::Sub => "sub",
+        IBinOp::Mul => "mul",
+        IBinOp::Div => "sdiv",
+        IBinOp::Rem => "srem",
+        IBinOp::And => "and",
+        IBinOp::Or => "or",
+        IBinOp::Xor => "xor",
+        IBinOp::Shl => "shl",
+        IBinOp::LShr => "lshr",
+        IBinOp::AShr => "ashr",
+    }
+}
+
+fn fbin_name(op: FBinOp) -> &'static str {
+    match op {
+        FBinOp::Add => "fadd",
+        FBinOp::Sub => "fsub",
+        FBinOp::Mul => "fmul",
+        FBinOp::Div => "fdiv",
+    }
+}
+
+fn ipred_name(p: IPred) -> &'static str {
+    match p {
+        IPred::Eq => "eq",
+        IPred::Ne => "ne",
+        IPred::Slt => "slt",
+        IPred::Sle => "sle",
+        IPred::Sgt => "sgt",
+        IPred::Sge => "sge",
+    }
+}
+
+fn fpred_name(p: FPred) -> &'static str {
+    match p {
+        FPred::Oeq => "oeq",
+        FPred::One => "one",
+        FPred::Olt => "olt",
+        FPred::Ole => "ole",
+        FPred::Ogt => "ogt",
+        FPred::Oge => "oge",
+    }
+}
+
+fn print_instr(m: &Module, f: &Function, i: &Instr) -> String {
+    match i {
+        Instr::Alloca { words } => format!("alloca [{words} x i64]"),
+        Instr::Load { addr, ty } => format!("load {ty}, ptr {}", op_str(addr)),
+        Instr::Store { addr, val, ty } => {
+            format!("store {ty} {}, ptr {}", op_str(val), op_str(addr))
+        }
+        Instr::IBin { op, a, b } => {
+            format!("{} i64 {}, {}", ibin_name(*op), op_str(a), op_str(b))
+        }
+        Instr::FBin { op, a, b } => {
+            format!("{} double {}, {}", fbin_name(*op), op_str(a), op_str(b))
+        }
+        Instr::ICmp { pred, a, b } => {
+            format!("icmp {} i64 {}, {}", ipred_name(*pred), op_str(a), op_str(b))
+        }
+        Instr::FCmp { pred, a, b } => {
+            format!("fcmp {} double {}, {}", fpred_name(*pred), op_str(a), op_str(b))
+        }
+        Instr::Select { cond, a, b, ty } => format!(
+            "select i1 {}, {ty} {}, {ty} {}",
+            op_str(cond),
+            op_str(a),
+            op_str(b)
+        ),
+        Instr::Cast { op, v } => {
+            let name = match op {
+                CastOp::SiToF => "sitofp",
+                CastOp::FToSi => "fptosi",
+                CastOp::I1ToI64 => "zext",
+                CastOp::IntToPtr => "inttoptr",
+                CastOp::PtrToInt => "ptrtoint",
+                CastOp::BitsToF => "bitcast-to-f64",
+                CastOp::FToBits => "bitcast-to-i64",
+            };
+            format!("{name} {}", op_str(v))
+        }
+        Instr::PtrAdd { base, idx, scale, disp } => format!(
+            "getelementptr ptr {}, i64 {} x {scale} + {disp}",
+            op_str(base),
+            op_str(idx)
+        ),
+        Instr::Call { func, args } => {
+            let a: Vec<String> = args.iter().map(op_str).collect();
+            format!("call @{}({})", m.funcs[func.index()].name, a.join(", "))
+        }
+        Instr::IntrinsicCall { which, args } => {
+            let a: Vec<String> = args.iter().map(op_str).collect();
+            format!("call @{}({})", which.name(), a.join(", "))
+        }
+        Instr::PrintStr { s } => format!("call @print_str(\"{}\")", m.strings[s.index()]),
+        Instr::LlfiInject { site, val, ty } => {
+            format!("call {ty} @injectFault{site}(i64 {site}, {ty} {})", op_str(val))
+        }
+        Instr::Phi { incomings, ty } => {
+            let inc: Vec<String> = incomings
+                .iter()
+                .map(|(b, v)| {
+                    format!("[ {}, %{}.{} ]", op_str(v), f.blocks[b.index()].name, b.0)
+                })
+                .collect();
+            format!("phi {ty} {}", inc.join(", "))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FuncBuilder;
+    use crate::instr::IBinOp;
+    use crate::module::Ty;
+
+    #[test]
+    fn prints_simple_function() {
+        let mut m = Module::new();
+        let mut b = FuncBuilder::new("f", vec![Ty::I64], Some(Ty::I64));
+        let p = b.params()[0];
+        let r = b.ibin(IBinOp::Mul, p, Operand::ConstI(3));
+        b.ret(Some(r));
+        m.add_function(b.finish());
+        let s = print_module(&m);
+        assert!(s.contains("define i64 @f(i64 %0)"));
+        assert!(s.contains("%1 = mul i64 %0, 3"));
+        assert!(s.contains("ret i64 %1"));
+    }
+
+    #[test]
+    fn prints_globals_and_strings() {
+        let mut m = Module::new();
+        m.add_global("grid", crate::module::GlobalInit::Zero(16));
+        let mut b = FuncBuilder::new("main", vec![], Some(Ty::I64));
+        let s = m.add_string("hello");
+        b.print_str(s);
+        b.ret(Some(Operand::ConstI(0)));
+        m.add_function(b.finish());
+        let out = print_module(&m);
+        assert!(out.contains("@grid = global [16 x i64]"));
+        assert!(out.contains("call @print_str(\"hello\")"));
+    }
+}

@@ -1,0 +1,506 @@
+//! Structural and type verification of IR modules.
+//!
+//! Checked properties:
+//! * every block is terminated, every branch targets an existing block;
+//! * phis form a prefix of their block and have exactly one incoming per
+//!   (reachable) predecessor;
+//! * every value referenced is defined exactly once (SSA), and non-phi uses
+//!   are dominated by their definition;
+//! * operand and result types match the instruction's signature;
+//! * call argument counts/types match callee signatures.
+
+use crate::dom::DomTree;
+use crate::instr::{CastOp, Instr, Operand, Terminator};
+use crate::module::{BlockId, Function, Module, Ty, ValueId};
+use crate::{IrError, IrResult};
+
+/// Verify every function of the module.
+pub fn verify_module(m: &Module) -> IrResult<()> {
+    for f in &m.funcs {
+        verify_function(m, f).map_err(|e| match e {
+            IrError::Verify(msg) => IrError::Verify(format!("in @{}: {msg}", f.name)),
+            other => other,
+        })?;
+    }
+    Ok(())
+}
+
+fn err<T>(msg: impl Into<String>) -> IrResult<T> {
+    Err(IrError::Verify(msg.into()))
+}
+
+/// Verify a single function.
+pub fn verify_function(m: &Module, f: &Function) -> IrResult<()> {
+    let nblocks = f.blocks.len();
+
+    // --- Definitions: each value defined at most once; record def site.
+    let mut def_site: Vec<Option<(BlockId, usize)>> = vec![None; f.value_tys.len()];
+    for (bi, b) in f.blocks.iter().enumerate() {
+        let mut seen_non_phi = false;
+        for (ii, id) in b.instrs.iter().enumerate() {
+            if id.instr.is_phi() {
+                if seen_non_phi {
+                    return err(format!("phi after non-phi in block {bi}"));
+                }
+            } else {
+                seen_non_phi = true;
+            }
+            if let Some(v) = id.result {
+                if v.index() >= f.value_tys.len() {
+                    return err(format!("result value %{} out of range", v.0));
+                }
+                if v.index() < f.params.len() {
+                    return err(format!("instruction redefines parameter %{}", v.0));
+                }
+                if def_site[v.index()].is_some() {
+                    return err(format!("value %{} defined twice", v.0));
+                }
+                def_site[v.index()] = Some((BlockId(bi as u32), ii));
+                // Result type must match the instruction.
+                let expect = id
+                    .instr
+                    .result_ty(|vv| f.ty_of(vv), |fid| m.funcs[fid.index()].ret);
+                match expect {
+                    Some(t) if t == f.ty_of(v) => {}
+                    Some(t) => {
+                        return err(format!(
+                            "value %{} declared {} but instruction produces {}",
+                            v.0,
+                            f.ty_of(v),
+                            t
+                        ))
+                    }
+                    None => return err(format!("instruction produces no value but has result %{}", v.0)),
+                }
+            }
+        }
+        // Terminator exists and targets valid blocks.
+        match &b.term {
+            None => return err(format!("block {bi} not terminated")),
+            Some(Terminator::Br(t)) => {
+                if t.index() >= nblocks {
+                    return err(format!("branch to missing block {}", t.0));
+                }
+            }
+            Some(Terminator::CondBr { t, f: fb, .. }) => {
+                if t.index() >= nblocks || fb.index() >= nblocks {
+                    return err("conditional branch to missing block".to_string());
+                }
+            }
+            Some(Terminator::Ret(v)) => match (v, f.ret) {
+                (None, None) => {}
+                (Some(_), Some(_)) => {}
+                (None, Some(_)) => return err("void return in non-void function"),
+                (Some(_), None) => return err("value return in void function"),
+            },
+        }
+    }
+
+    let preds = f.predecessors();
+    let dt = DomTree::compute(f);
+    let reachable: Vec<bool> = {
+        let mut r = vec![false; nblocks];
+        for &b in &dt.rpo {
+            r[b.index()] = true;
+        }
+        r
+    };
+
+    // --- Uses: type checks + dominance.
+    let operand_ty = |op: &Operand| -> IrResult<Ty> {
+        match op {
+            Operand::Value(v) => {
+                if v.index() >= f.value_tys.len() {
+                    return err(format!("use of undeclared value %{}", v.0));
+                }
+                Ok(f.ty_of(*v))
+            }
+            Operand::ConstI(_) => Ok(Ty::I64),
+            Operand::ConstF(_) => Ok(Ty::F64),
+            Operand::Global(g) => {
+                if g.index() >= m.globals.len() {
+                    return err(format!("use of undeclared global g{}", g.0));
+                }
+                Ok(Ty::Ptr)
+            }
+        }
+    };
+    // Constants are allowed to stand in for any int-class type (i1 guards,
+    // pointer nulls); so type "compatibility" is class-based for ConstI.
+    let compat = |expected: Ty, op: &Operand, actual: Ty| -> bool {
+        match op {
+            Operand::ConstI(_) => expected.is_int_class(),
+            _ => expected == actual || (expected == Ty::Ptr && actual == Ty::I64) || (expected == Ty::I64 && actual == Ty::Ptr),
+        }
+    };
+
+    for (bi, b) in f.blocks.iter().enumerate() {
+        if !reachable[bi] {
+            continue;
+        }
+        let bid = BlockId(bi as u32);
+        for (ii, id) in b.instrs.iter().enumerate() {
+            // Per-instruction operand typing.
+            check_instr_types(m, f, &id.instr, &operand_ty, &compat)?;
+            // Dominance of uses (phis checked per-edge below).
+            if let Instr::Phi { incomings, .. } = &id.instr {
+                let mut ps: Vec<BlockId> =
+                    preds[bi].iter().copied().filter(|p| reachable[p.index()]).collect();
+                ps.sort();
+                ps.dedup();
+                if ps.is_empty() {
+                    return err(format!("phi in block {bi} which has no predecessors"));
+                }
+                let mut inc: Vec<BlockId> = incomings
+                    .iter()
+                    .map(|(p, _)| *p)
+                    .filter(|p| reachable[p.index()])
+                    .collect();
+                inc.sort();
+                if inc != ps {
+                    return err(format!(
+                        "phi in block {bi} incomings {:?} do not match predecessors {:?}",
+                        inc, ps
+                    ));
+                }
+                for (p, op) in incomings {
+                    if let Some(v) = op.as_value() {
+                        if let Some((db, _)) = def_site_or_param(f, &def_site, v)? {
+                            if reachable[p.index()] && !dt.dominates(db, *p) {
+                                return err(format!(
+                                    "phi incoming %{} from block {} not dominated by def",
+                                    v.0, p.0
+                                ));
+                            }
+                        }
+                    }
+                }
+            } else {
+                let mut bad: Option<String> = None;
+                id.instr.for_each_operand(&mut |op| {
+                    if bad.is_some() {
+                        return;
+                    }
+                    if let Some(v) = op.as_value() {
+                        match def_site_or_param(f, &def_site, v) {
+                            Err(_) => bad = Some(format!("use of undefined value %{}", v.0)),
+                            Ok(Some((db, di))) => {
+                                let ok = if db == bid {
+                                    di < ii
+                                } else {
+                                    dt.dominates(db, bid)
+                                };
+                                if !ok {
+                                    bad = Some(format!(
+                                        "use of %{} in block {bi} not dominated by its definition",
+                                        v.0
+                                    ));
+                                }
+                            }
+                            Ok(None) => {} // parameter, dominates everything
+                        }
+                    }
+                });
+                if let Some(msg) = bad {
+                    return err(msg);
+                }
+            }
+        }
+        // Terminator operand: type and dominance.
+        let mut term_uses: Vec<ValueId> = Vec::new();
+        match &b.term {
+            Some(Terminator::CondBr { cond, .. }) => {
+                if let Some(v) = cond.as_value() {
+                    term_uses.push(v);
+                }
+            }
+            Some(Terminator::Ret(Some(v))) => {
+                if let Some(v) = v.as_value() {
+                    term_uses.push(v);
+                }
+            }
+            _ => {}
+        }
+        for v in term_uses {
+            if let Some((db, _)) = def_site_or_param(f, &def_site, v)? {
+                if db != bid && !dt.dominates(db, bid) {
+                    return err(format!(
+                        "terminator use of %{} in block {bi} not dominated by its definition",
+                        v.0
+                    ));
+                }
+            }
+        }
+        if let Some(Terminator::CondBr { cond, .. }) = &b.term {
+            let t = operand_ty(cond)?;
+            if !compat(Ty::I1, cond, t) && t != Ty::I1 {
+                return err(format!("condbr condition has type {t}, expected i1"));
+            }
+        }
+        if let Some(Terminator::Ret(Some(v))) = &b.term {
+            let t = operand_ty(v)?;
+            let rt = f.ret.unwrap();
+            if !compat(rt, v, t) {
+                return err(format!("return of {t}, function returns {rt}"));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// `Ok(None)` for parameters (defined at entry), `Ok(Some(site))` otherwise.
+fn def_site_or_param(
+    f: &Function,
+    def_site: &[Option<(BlockId, usize)>],
+    v: ValueId,
+) -> IrResult<Option<(BlockId, usize)>> {
+    if v.index() < f.params.len() {
+        return Ok(None);
+    }
+    match def_site.get(v.index()).copied().flatten() {
+        Some(s) => Ok(Some(s)),
+        None => err(format!("value %{} never defined", v.0)),
+    }
+}
+
+fn check_instr_types(
+    m: &Module,
+    f: &Function,
+    i: &Instr,
+    operand_ty: &impl Fn(&Operand) -> IrResult<Ty>,
+    compat: &impl Fn(Ty, &Operand, Ty) -> bool,
+) -> IrResult<()> {
+    let want = |expected: Ty, op: &Operand| -> IrResult<()> {
+        let t = operand_ty(op)?;
+        if compat(expected, op, t) {
+            Ok(())
+        } else {
+            err(format!("operand type {t}, expected {expected}"))
+        }
+    };
+    match i {
+        Instr::Alloca { words } => {
+            if *words == 0 {
+                return err("zero-sized alloca");
+            }
+        }
+        Instr::Load { addr, ty } => {
+            want(Ty::Ptr, addr)?;
+            if *ty == Ty::I1 {
+                return err("i1 loads are not supported");
+            }
+        }
+        Instr::Store { addr, val, ty } => {
+            want(Ty::Ptr, addr)?;
+            want(*ty, val)?;
+        }
+        Instr::IBin { a, b, .. } => {
+            want(Ty::I64, a)?;
+            want(Ty::I64, b)?;
+        }
+        Instr::FBin { a, b, .. } => {
+            want(Ty::F64, a)?;
+            want(Ty::F64, b)?;
+        }
+        Instr::ICmp { a, b, .. } => {
+            want(Ty::I64, a)?;
+            want(Ty::I64, b)?;
+        }
+        Instr::FCmp { a, b, .. } => {
+            want(Ty::F64, a)?;
+            want(Ty::F64, b)?;
+        }
+        Instr::Select { cond, a, b, ty } => {
+            let ct = operand_ty(cond)?;
+            if ct != Ty::I1 && !matches!(cond, Operand::ConstI(_)) {
+                return err(format!("select condition has type {ct}"));
+            }
+            want(*ty, a)?;
+            want(*ty, b)?;
+        }
+        Instr::Cast { op, v } => {
+            let src = match op {
+                CastOp::SiToF | CastOp::I1ToI64 | CastOp::IntToPtr | CastOp::BitsToF => {
+                    if *op == CastOp::I1ToI64 { Ty::I1 } else { Ty::I64 }
+                }
+                CastOp::FToSi | CastOp::FToBits => Ty::F64,
+                CastOp::PtrToInt => Ty::Ptr,
+            };
+            want(src, v)?;
+        }
+        Instr::PtrAdd { base, idx, scale, .. } => {
+            want(Ty::Ptr, base)?;
+            want(Ty::I64, idx)?;
+            if *scale == 0 {
+                return err("ptradd with zero scale");
+            }
+        }
+        Instr::Call { func, args } => {
+            if func.index() >= m.funcs.len() {
+                return err("call to missing function");
+            }
+            let callee = &m.funcs[func.index()];
+            if callee.params.len() != args.len() {
+                return err(format!(
+                    "call to @{} with {} args, expected {}",
+                    callee.name,
+                    args.len(),
+                    callee.params.len()
+                ));
+            }
+            for (p, a) in callee.params.iter().zip(args) {
+                want(*p, a)?;
+            }
+        }
+        Instr::IntrinsicCall { which, args } => {
+            if which.arity() != args.len() {
+                return err(format!(
+                    "intrinsic {} with {} args, expected {}",
+                    which.name(),
+                    args.len(),
+                    which.arity()
+                ));
+            }
+            let expect = match which {
+                crate::instr::Intrinsic::PrintI64 => Ty::I64,
+                _ => Ty::F64,
+            };
+            for a in args {
+                want(expect, a)?;
+            }
+        }
+        Instr::LlfiInject { val, ty, .. } => {
+            if *ty == Ty::I1 {
+                // i1 flips are modelled at 1-bit width; the operand must be
+                // a boolean value.
+                let t = operand_ty(val)?;
+                if t != Ty::I1 && !matches!(val, Operand::ConstI(_)) {
+                    return err(format!("llfi inject of {t}, declared i1"));
+                }
+            } else {
+                want(*ty, val)?;
+            }
+        }
+        Instr::PrintStr { s } => {
+            if s.index() >= m.strings.len() {
+                return err("print_str of missing string");
+            }
+        }
+        Instr::Phi { incomings, ty } => {
+            for (_, op) in incomings {
+                want(*ty, op)?;
+            }
+        }
+    }
+    let _ = f;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FuncBuilder;
+    use crate::instr::{IBinOp, IPred};
+    use crate::module::{Function, InstrData};
+
+    fn module_with(f: Function) -> Module {
+        let mut m = Module::new();
+        m.add_function(f);
+        m
+    }
+
+    #[test]
+    fn accepts_valid_function() {
+        let mut b = FuncBuilder::new("ok", vec![Ty::I64], Some(Ty::I64));
+        let p = b.params()[0];
+        let x = b.ibin(IBinOp::Add, p, Operand::ConstI(1));
+        b.ret(Some(x));
+        assert!(verify_module(&module_with(b.finish())).is_ok());
+    }
+
+    #[test]
+    fn rejects_unterminated_block() {
+        let f = Function::new("bad", vec![], None);
+        assert!(matches!(
+            verify_module(&module_with(f)),
+            Err(IrError::Verify(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_double_definition() {
+        let mut f = Function::new("bad", vec![], Some(Ty::I64));
+        let v = f.new_value(Ty::I64);
+        let add = Instr::IBin { op: IBinOp::Add, a: Operand::ConstI(0), b: Operand::ConstI(1) };
+        f.block_mut(BlockId(0)).instrs.push(InstrData { instr: add.clone(), result: Some(v) });
+        f.block_mut(BlockId(0)).instrs.push(InstrData { instr: add, result: Some(v) });
+        f.block_mut(BlockId(0)).term = Some(Terminator::Ret(Some(Operand::Value(v))));
+        assert!(verify_module(&module_with(f)).is_err());
+    }
+
+    #[test]
+    fn rejects_type_mismatch() {
+        let mut f = Function::new("bad", vec![Ty::F64], Some(Ty::I64));
+        let v = f.new_value(Ty::I64);
+        f.block_mut(BlockId(0)).instrs.push(InstrData {
+            instr: Instr::IBin {
+                op: IBinOp::Add,
+                a: Operand::Value(ValueId(0)), // f64 param used as i64
+                b: Operand::ConstI(1),
+            },
+            result: Some(v),
+        });
+        f.block_mut(BlockId(0)).term = Some(Terminator::Ret(Some(Operand::Value(v))));
+        assert!(verify_module(&module_with(f)).is_err());
+    }
+
+    #[test]
+    fn rejects_phi_with_wrong_preds() {
+        let mut b = FuncBuilder::new("bad", vec![], Some(Ty::I64));
+        let other = b.add_block("other");
+        // phi in entry claims an incoming from `other`, but entry has no preds.
+        let ph = b.phi(Ty::I64, vec![(other, Operand::ConstI(1))]);
+        b.ret(Some(ph));
+        b.switch_to(other);
+        b.ret(Some(Operand::ConstI(0)));
+        assert!(verify_module(&module_with(b.finish())).is_err());
+    }
+
+    #[test]
+    fn rejects_use_before_def_across_blocks() {
+        let mut f = Function::new("bad", vec![], Some(Ty::I64));
+        let b1 = f.add_block("b1");
+        let b2 = f.add_block("b2");
+        let v = f.new_value(Ty::I64);
+        // entry: condbr to b1/b2; def in b1; use in b2 (not dominated).
+        f.block_mut(BlockId(0)).term =
+            Some(Terminator::CondBr { cond: Operand::ConstI(1), t: b1, f: b2 });
+        f.block_mut(b1).instrs.push(InstrData {
+            instr: Instr::IBin { op: IBinOp::Add, a: Operand::ConstI(1), b: Operand::ConstI(2) },
+            result: Some(v),
+        });
+        f.block_mut(b1).term = Some(Terminator::Ret(Some(Operand::Value(v))));
+        f.block_mut(b2).term = Some(Terminator::Ret(Some(Operand::Value(v))));
+        assert!(verify_module(&module_with(f)).is_err());
+    }
+
+    #[test]
+    fn accepts_loop_phi() {
+        let mut b = FuncBuilder::new("loop", vec![], Some(Ty::I64));
+        let header = b.add_block("header");
+        let body = b.add_block("body");
+        let exit = b.add_block("exit");
+        b.br(header);
+        b.switch_to(header);
+        let i = b.phi(Ty::I64, vec![(BlockId(0), Operand::ConstI(0))]);
+        let c = b.icmp(IPred::Slt, i, Operand::ConstI(4));
+        b.cond_br(c, body, exit);
+        b.switch_to(body);
+        let n = b.ibin(IBinOp::Add, i, Operand::ConstI(1));
+        b.add_incoming(i, body, n);
+        b.br(header);
+        b.switch_to(exit);
+        b.ret(Some(i));
+        assert!(verify_module(&module_with(b.finish())).is_ok());
+    }
+}

@@ -1,0 +1,806 @@
+//! The M64 execution engine.
+
+use crate::binary::Binary;
+use crate::isa::{fi_outputs, flags, AluOp, CvtKind, FAluOp, MInstr, Mem, Reg, RtFunc, SP};
+use crate::probe::{Probe, ProbeAction};
+use crate::rt::{pack, FiRuntime};
+
+/// Byte address where the data segment (globals) is mapped. Matches the IR
+/// interpreter's layout so pointer arithmetic behaves identically.
+pub const GLOBAL_BASE: u64 = 0x0001_0000;
+/// Byte address one past the top of the stack; `sp` starts here and grows
+/// down.
+pub const STACK_TOP: u64 = 0x8000_0000;
+
+/// Hardware trap causes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Trap {
+    /// Access to an unmapped address.
+    Segfault(u64),
+    /// Access that is not 8-byte aligned.
+    Misaligned(u64),
+    /// Integer divide fault (`#DE`).
+    DivFault,
+    /// Control transfer outside the text section (corrupted return address).
+    BadPc(u64),
+    /// Undecodable instruction word (`#UD`), reachable only via opcode
+    /// corruption.
+    IllegalInstr,
+}
+
+impl std::fmt::Display for Trap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Trap::Segfault(a) => write!(f, "segfault at {a:#x}"),
+            Trap::Misaligned(a) => write!(f, "misaligned access at {a:#x}"),
+            Trap::DivFault => write!(f, "integer divide fault"),
+            Trap::BadPc(a) => write!(f, "bad program counter {a:#x}"),
+            Trap::IllegalInstr => write!(f, "illegal instruction"),
+        }
+    }
+}
+
+/// One recorded output action (mirror of the IR interpreter's event type).
+#[derive(Debug, Clone, PartialEq)]
+pub enum OutEvent {
+    /// `print_i64`.
+    I64(i64),
+    /// `print_f64`.
+    F64(f64),
+    /// `print_str`.
+    Str(String),
+}
+
+/// How a run ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// `halt` executed; exit code attached.
+    Exit(i64),
+    /// Hardware trap.
+    Trap(Trap),
+    /// Cycle budget exhausted.
+    Timeout,
+}
+
+/// A completed machine run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Final outcome.
+    pub outcome: RunOutcome,
+    /// Output events in emission order.
+    pub output: Vec<OutEvent>,
+    /// Simulated cycles consumed (the paper's "execution time").
+    pub cycles: u64,
+    /// Dynamic instruction count.
+    pub instrs_retired: u64,
+}
+
+/// A read-only snapshot of architectural state handed to a [`Tracer`]
+/// after each retired instruction.
+#[derive(Debug, Clone, Copy)]
+pub struct ArchState<'a> {
+    /// Program counter of the *retired* instruction.
+    pub pc: u32,
+    /// General-purpose register file.
+    pub regs: &'a [u64; 16],
+    /// Floating-point register file (raw bits).
+    pub fregs: &'a [u64; 16],
+    /// FLAGS register.
+    pub flags: u8,
+    /// Dynamic instruction index (0-based).
+    pub retired: u64,
+}
+
+/// Observes architectural state after every retired instruction — the hook
+/// error-propagation analysis is built on (golden and faulty runs are
+/// traced and diffed).
+pub trait Tracer {
+    /// Called after each instruction retires (and after any probe-requested
+    /// injection was applied).
+    fn after_step(&mut self, st: ArchState<'_>);
+}
+
+/// Run parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct RunConfig {
+    /// Cycle budget; exceeding it yields [`RunOutcome::Timeout`]. The
+    /// campaign sets this to 10x the profiled execution per the paper.
+    pub max_cycles: u64,
+    /// Stack size in 8-byte words.
+    pub stack_words: usize,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig { max_cycles: 500_000_000, stack_words: 1 << 16 }
+    }
+}
+
+/// The machine state during one run.
+pub struct Machine<'a> {
+    binary: &'a Binary,
+    regs: [u64; 16],
+    fregs: [u64; 16],
+    flags: u8,
+    pc: u32,
+    data: Vec<u64>,
+    stack: Vec<u64>,
+    stack_base: u64,
+    output: Vec<OutEvent>,
+    cycles: u64,
+    instrs_retired: u64,
+}
+
+impl<'a> Machine<'a> {
+    /// Initialize machine state for `binary`.
+    pub fn new(binary: &'a Binary, cfg: &RunConfig) -> Self {
+        let stack_base = STACK_TOP - (cfg.stack_words as u64) * 8;
+        let mut m = Machine {
+            binary,
+            regs: [0; 16],
+            fregs: [0; 16],
+            flags: 0,
+            pc: binary.entry,
+            data: binary.data.clone(),
+            stack: vec![0; cfg.stack_words],
+            stack_base,
+            output: Vec::new(),
+            cycles: 0,
+            instrs_retired: 0,
+        };
+        m.regs[SP as usize] = STACK_TOP;
+        m
+    }
+
+    /// Run to completion with a fault-injection runtime and an optional
+    /// binary-instrumentation probe.
+    pub fn run(
+        binary: &'a Binary,
+        cfg: &RunConfig,
+        rt: &mut dyn FiRuntime,
+        probe: Option<&mut dyn Probe>,
+    ) -> RunResult {
+        Self::run_traced(binary, cfg, rt, probe, None)
+    }
+
+    /// Like [`Machine::run`], additionally streaming post-retirement
+    /// architectural state to `tracer`.
+    pub fn run_traced(
+        binary: &'a Binary,
+        cfg: &RunConfig,
+        rt: &mut dyn FiRuntime,
+        mut probe: Option<&mut dyn Probe>,
+        mut tracer: Option<&mut dyn Tracer>,
+    ) -> RunResult {
+        let mut m = Machine::new(binary, cfg);
+        let outcome = loop {
+            if m.cycles >= cfg.max_cycles {
+                break RunOutcome::Timeout;
+            }
+            let Some(&fetched) = binary.text.get(m.pc as usize) else {
+                break RunOutcome::Trap(Trap::BadPc(m.pc as u64));
+            };
+            let pc = m.pc;
+            let mut instr = fetched;
+            // --- DBI probe (PIN analogue).
+            let mut inject: Option<(usize, u32)> = None;
+            let mut inject_mask: Option<(usize, u64)> = None;
+            if let Some(p) = probe.as_deref_mut() {
+                m.cycles += p.overhead_cycles();
+                match p.before(m.pc, &instr, m.instrs_retired) {
+                    ProbeAction::Continue => {}
+                    ProbeAction::Detach => probe = None,
+                    ProbeAction::InjectAfter { op, bit, detach } => {
+                        inject = Some((op, bit));
+                        if detach {
+                            probe = None;
+                        }
+                    }
+                    ProbeAction::Substitute { instr: sub, detach } => {
+                        instr = sub;
+                        if detach {
+                            probe = None;
+                        }
+                    }
+                    ProbeAction::IllegalInstr => {
+                        break RunOutcome::Trap(Trap::IllegalInstr);
+                    }
+                    ProbeAction::InjectMaskAfter { op, mask, detach } => {
+                        inject_mask = Some((op, mask));
+                        if detach {
+                            probe = None;
+                        }
+                    }
+                }
+            }
+            // --- Execute.
+            m.cycles += instr.cycles();
+            match m.step(&instr, rt) {
+                Ok(Step::Continue) => {}
+                Ok(Step::Halt(code)) => break RunOutcome::Exit(code),
+                Err(t) => break RunOutcome::Trap(t),
+            }
+            m.instrs_retired += 1;
+            // --- Post-retirement injection requested by the probe.
+            if let Some((op, bit)) = inject {
+                let outs = fi_outputs(&instr);
+                if let Some(&(reg, bits)) = outs.get(op) {
+                    m.flip(reg, bit % bits);
+                }
+            }
+            if let Some((op, mask)) = inject_mask {
+                let outs = fi_outputs(&instr);
+                if let Some(&(reg, _)) = outs.get(op) {
+                    m.xor_mask(reg, mask);
+                }
+            }
+            if let Some(t) = tracer.as_deref_mut() {
+                t.after_step(ArchState {
+                    pc,
+                    regs: &m.regs,
+                    fregs: &m.fregs,
+                    flags: m.flags,
+                    retired: m.instrs_retired - 1,
+                });
+            }
+        };
+        RunResult {
+            outcome,
+            output: m.output,
+            cycles: m.cycles,
+            instrs_retired: m.instrs_retired,
+        }
+    }
+
+    /// XOR a full mask into an architectural register (multi-bit faults).
+    pub fn xor_mask(&mut self, reg: Reg, mask: u64) {
+        match reg {
+            Reg::G(i) => self.regs[i as usize] ^= mask,
+            Reg::F(i) => self.fregs[i as usize] ^= mask,
+            Reg::Flags => self.flags ^= (mask & 0xf) as u8,
+        }
+    }
+
+    /// Flip one bit of an architectural register.
+    pub fn flip(&mut self, reg: Reg, bit: u32) {
+        match reg {
+            Reg::G(i) => self.regs[i as usize] ^= 1 << (bit & 63),
+            Reg::F(i) => self.fregs[i as usize] ^= 1 << (bit & 63),
+            Reg::Flags => self.flags ^= 1 << (bit % crate::isa::FLAGS_BITS),
+        }
+    }
+
+    fn mem_read(&self, addr: u64) -> Result<u64, Trap> {
+        if addr % 8 != 0 {
+            return Err(Trap::Misaligned(addr));
+        }
+        if addr >= GLOBAL_BASE {
+            let w = (addr - GLOBAL_BASE) / 8;
+            if (w as usize) < self.data.len() {
+                return Ok(self.data[w as usize]);
+            }
+        }
+        if addr >= self.stack_base && addr < STACK_TOP {
+            return Ok(self.stack[((addr - self.stack_base) / 8) as usize]);
+        }
+        Err(Trap::Segfault(addr))
+    }
+
+    fn mem_write(&mut self, addr: u64, val: u64) -> Result<(), Trap> {
+        if addr % 8 != 0 {
+            return Err(Trap::Misaligned(addr));
+        }
+        if addr >= GLOBAL_BASE {
+            let w = (addr - GLOBAL_BASE) / 8;
+            if (w as usize) < self.data.len() {
+                self.data[w as usize] = val;
+                return Ok(());
+            }
+        }
+        if addr >= self.stack_base && addr < STACK_TOP {
+            self.stack[((addr - self.stack_base) / 8) as usize] = val;
+            return Ok(());
+        }
+        Err(Trap::Segfault(addr))
+    }
+
+    fn eff_addr(&self, mem: &Mem) -> u64 {
+        let mut a = mem.disp as u64;
+        if let Some(b) = mem.base {
+            a = a.wrapping_add(self.regs[b as usize]);
+        }
+        if let Some((i, s)) = mem.index {
+            a = a.wrapping_add(self.regs[i as usize].wrapping_mul(s as u64));
+        }
+        a
+    }
+
+    fn set_int_flags(&mut self, res: i64, of: bool) {
+        let mut f = 0u8;
+        if res == 0 {
+            f |= flags::ZF;
+        }
+        if res < 0 {
+            f |= flags::LT;
+        }
+        if of {
+            f |= flags::OF;
+        }
+        self.flags = f;
+    }
+
+    fn f(&self, i: u8) -> f64 {
+        f64::from_bits(self.fregs[i as usize])
+    }
+
+    fn set_f(&mut self, i: u8, v: f64) {
+        self.fregs[i as usize] = v.to_bits();
+    }
+
+    fn alu(&mut self, op: AluOp, a: i64, b: i64) -> Result<i64, Trap> {
+        let (res, of) = match op {
+            AluOp::Add => a.overflowing_add(b),
+            AluOp::Sub => a.overflowing_sub(b),
+            AluOp::Mul => a.overflowing_mul(b),
+            AluOp::Div => {
+                if b == 0 || (a == i64::MIN && b == -1) {
+                    return Err(Trap::DivFault);
+                }
+                (a / b, false)
+            }
+            AluOp::Rem => {
+                if b == 0 || (a == i64::MIN && b == -1) {
+                    return Err(Trap::DivFault);
+                }
+                (a % b, false)
+            }
+            AluOp::And => (a & b, false),
+            AluOp::Or => (a | b, false),
+            AluOp::Xor => (a ^ b, false),
+            AluOp::Shl => (a.wrapping_shl((b & 63) as u32), false),
+            AluOp::LShr => (((a as u64).wrapping_shr((b & 63) as u32)) as i64, false),
+            AluOp::AShr => (a.wrapping_shr((b & 63) as u32), false),
+        };
+        self.set_int_flags(res, of);
+        Ok(res)
+    }
+
+    fn push(&mut self, val: u64) -> Result<(), Trap> {
+        let sp = self.regs[SP as usize].wrapping_sub(8);
+        self.regs[SP as usize] = sp;
+        self.mem_write(sp, val)
+    }
+
+    fn pop(&mut self) -> Result<u64, Trap> {
+        let sp = self.regs[SP as usize];
+        let v = self.mem_read(sp)?;
+        self.regs[SP as usize] = sp.wrapping_add(8);
+        Ok(v)
+    }
+
+    fn step(&mut self, instr: &MInstr, rt: &mut dyn FiRuntime) -> Result<Step, Trap> {
+        let mut next = self.pc + 1;
+        match *instr {
+            MInstr::Nop => {}
+            MInstr::MovRR { rd, ra } => self.regs[rd as usize] = self.regs[ra as usize],
+            MInstr::MovRI { rd, imm } => self.regs[rd as usize] = imm as u64,
+            MInstr::FMovRR { fd, fa } => self.fregs[fd as usize] = self.fregs[fa as usize],
+            MInstr::FMovRI { fd, imm } => self.fregs[fd as usize] = imm,
+            MInstr::Alu { op, rd, ra, rb } => {
+                let r = self.alu(op, self.regs[ra as usize] as i64, self.regs[rb as usize] as i64)?;
+                self.regs[rd as usize] = r as u64;
+            }
+            MInstr::AluI { op, rd, ra, imm } => {
+                let r = self.alu(op, self.regs[ra as usize] as i64, imm)?;
+                self.regs[rd as usize] = r as u64;
+            }
+            MInstr::Cmp { ra, rb } => {
+                let (a, b) = (self.regs[ra as usize] as i64, self.regs[rb as usize] as i64);
+                self.cmp_flags(a, b);
+            }
+            MInstr::CmpI { ra, imm } => {
+                let a = self.regs[ra as usize] as i64;
+                self.cmp_flags(a, imm);
+            }
+            MInstr::SetCc { cc, rd } => {
+                self.regs[rd as usize] = cc.eval(self.flags) as u64;
+            }
+            MInstr::FAlu { op, fd, fa, fb } => {
+                let (a, b) = (self.f(fa), self.f(fb));
+                let r = match op {
+                    FAluOp::Add => a + b,
+                    FAluOp::Sub => a - b,
+                    FAluOp::Mul => a * b,
+                    FAluOp::Div => a / b,
+                    FAluOp::Min => a.min(b),
+                    FAluOp::Max => a.max(b),
+                };
+                self.set_f(fd, r);
+            }
+            MInstr::FCmp { fa, fb } => {
+                let (a, b) = (self.f(fa), self.f(fb));
+                let mut f = 0u8;
+                if a.is_nan() || b.is_nan() {
+                    f |= flags::UN;
+                } else {
+                    if a == b {
+                        f |= flags::ZF;
+                    }
+                    if a < b {
+                        f |= flags::LT;
+                    }
+                }
+                self.flags = f;
+            }
+            MInstr::Cvt { kind, dst, src } => match kind {
+                CvtKind::SiToF => self.set_f(dst, self.regs[src as usize] as i64 as f64),
+                CvtKind::FToSi => self.regs[dst as usize] = (self.f(src) as i64) as u64,
+                CvtKind::BitsToF => self.fregs[dst as usize] = self.regs[src as usize],
+                CvtKind::FToBits => self.regs[dst as usize] = self.fregs[src as usize],
+            },
+            MInstr::Ld { rd, mem } => {
+                let a = self.eff_addr(&mem);
+                self.regs[rd as usize] = self.mem_read(a)?;
+            }
+            MInstr::St { rs, mem } => {
+                let a = self.eff_addr(&mem);
+                self.mem_write(a, self.regs[rs as usize])?;
+            }
+            MInstr::FLd { fd, mem } => {
+                let a = self.eff_addr(&mem);
+                self.fregs[fd as usize] = self.mem_read(a)?;
+            }
+            MInstr::FSt { fs, mem } => {
+                let a = self.eff_addr(&mem);
+                self.mem_write(a, self.fregs[fs as usize])?;
+            }
+            MInstr::Push { rs } => self.push(self.regs[rs as usize])?,
+            MInstr::Pop { rd } => {
+                let v = self.pop()?;
+                self.regs[rd as usize] = v;
+            }
+            MInstr::Jmp { target } => next = target,
+            MInstr::Jcc { cc, target } => {
+                if cc.eval(self.flags) {
+                    next = target;
+                }
+            }
+            MInstr::Call { target } => {
+                self.push(next as u64)?;
+                next = target;
+            }
+            MInstr::Ret => {
+                let ra = self.pop()?;
+                if ra as usize >= self.binary.text.len() {
+                    return Err(Trap::BadPc(ra));
+                }
+                next = ra as u32;
+            }
+            MInstr::CallRt { func, imm } => self.call_rt(func, imm, rt),
+            MInstr::RdFlags { rd } => self.regs[rd as usize] = self.flags as u64,
+            MInstr::WrFlags { rs } => self.flags = (self.regs[rs as usize] & 0xf) as u8,
+            MInstr::FXorI { fd, imm } => self.fregs[fd as usize] ^= imm,
+            MInstr::Halt => return Ok(Step::Halt(self.regs[0] as i64)),
+            MInstr::Lea { rd, mem } => self.regs[rd as usize] = self.eff_addr(&mem),
+        }
+        self.pc = next;
+        if self.pc as usize > self.binary.text.len() {
+            return Err(Trap::BadPc(self.pc as u64));
+        }
+        Ok(Step::Continue)
+    }
+
+    fn cmp_flags(&mut self, a: i64, b: i64) {
+        let mut f = 0u8;
+        if a == b {
+            f |= flags::ZF;
+        }
+        if a < b {
+            f |= flags::LT;
+        }
+        if a.overflowing_sub(b).1 {
+            f |= flags::OF;
+        }
+        self.flags = f;
+    }
+
+    fn call_rt(&mut self, func: RtFunc, imm: u64, rt: &mut dyn FiRuntime) {
+        match func {
+            RtFunc::PrintI64 => self.output.push(OutEvent::I64(self.regs[0] as i64)),
+            RtFunc::PrintF64 => self.output.push(OutEvent::F64(self.f(0))),
+            RtFunc::PrintStr => {
+                let s = self
+                    .binary
+                    .strings
+                    .get(imm as usize)
+                    .cloned()
+                    .unwrap_or_default();
+                self.output.push(OutEvent::Str(s));
+            }
+            RtFunc::Sqrt => self.set_f(0, self.f(0).sqrt()),
+            RtFunc::Fabs => self.set_f(0, self.f(0).abs()),
+            RtFunc::Exp => self.set_f(0, self.f(0).exp()),
+            RtFunc::Log => self.set_f(0, self.f(0).ln()),
+            RtFunc::Sin => self.set_f(0, self.f(0).sin()),
+            RtFunc::Cos => self.set_f(0, self.f(0).cos()),
+            RtFunc::Floor => self.set_f(0, self.f(0).floor()),
+            RtFunc::Pow => self.set_f(0, self.f(0).powf(self.f(1))),
+            RtFunc::Fmin => self.set_f(0, self.f(0).min(self.f(1))),
+            RtFunc::Fmax => self.set_f(0, self.f(0).max(self.f(1))),
+            RtFunc::FiSelInstr => {
+                self.regs[0] = rt.sel_instr(imm) as u64;
+            }
+            RtFunc::FiSetupFi => {
+                let (nops, sizes) = pack::setup_unpack(imm);
+                let (op, bit) = rt.setup_fi(nops, &sizes[..nops as usize]);
+                self.regs[0] = (op as u64) | (bit as u64) << 8;
+            }
+            RtFunc::LlfiInjectI => {
+                let (site, bits) = pack::llfi_unpack(imm);
+                self.regs[0] = rt.llfi_inject(site, self.regs[0], bits);
+            }
+            RtFunc::LlfiInjectF => {
+                let (site, bits) = pack::llfi_unpack(imm);
+                self.fregs[0] = rt.llfi_inject(site, self.fregs[0], bits);
+            }
+        }
+    }
+}
+
+enum Step {
+    Continue,
+    Halt(i64),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binary::Symbol;
+    use crate::isa::Cc;
+    use crate::rt::NoFi;
+
+    fn bin(text: Vec<MInstr>) -> Binary {
+        let end = text.len() as u32;
+        Binary {
+            text,
+            data: vec![0; 8],
+            symbols: vec![Symbol { name: "main".into(), entry: 0, end }],
+            strings: vec!["hello".into()],
+            entry: 0,
+        }
+    }
+
+    fn run(b: &Binary) -> RunResult {
+        Machine::run(b, &RunConfig::default(), &mut NoFi, None)
+    }
+
+    #[test]
+    fn halt_reports_exit_code() {
+        let b = bin(vec![MInstr::MovRI { rd: 0, imm: 42 }, MInstr::Halt]);
+        let r = run(&b);
+        assert_eq!(r.outcome, RunOutcome::Exit(42));
+        assert_eq!(r.instrs_retired, 1); // halt not counted as retired work
+    }
+
+    #[test]
+    fn arithmetic_and_flags() {
+        let b = bin(vec![
+            MInstr::MovRI { rd: 1, imm: 5 },
+            MInstr::MovRI { rd: 2, imm: 5 },
+            MInstr::Alu { op: AluOp::Sub, rd: 3, ra: 1, rb: 2 },
+            MInstr::SetCc { cc: Cc::E, rd: 0 },
+            MInstr::Halt,
+        ]);
+        assert_eq!(run(&b).outcome, RunOutcome::Exit(1));
+    }
+
+    #[test]
+    fn loop_with_branches() {
+        // r0 = sum(1..=10) via cmp/jcc
+        let b = bin(vec![
+            MInstr::MovRI { rd: 0, imm: 0 },
+            MInstr::MovRI { rd: 1, imm: 1 },
+            // L2:
+            MInstr::CmpI { ra: 1, imm: 10 },
+            MInstr::Jcc { cc: Cc::Gt, target: 6 },
+            MInstr::Alu { op: AluOp::Add, rd: 0, ra: 0, rb: 1 },
+            MInstr::AluI { op: AluOp::Add, rd: 1, ra: 1, imm: 1 },
+            MInstr::Jmp { target: 2 },
+            MInstr::Halt,
+        ]);
+        // note: Jcc target 6 is the AluI? recompute: indices 0..7; target of
+        // exit jcc must be 7 (halt) and loop jmp to 2.
+        let mut b = b;
+        b.text[3] = MInstr::Jcc { cc: Cc::Gt, target: 7 };
+        b.text[6] = MInstr::Jmp { target: 2 };
+        assert_eq!(run(&b).outcome, RunOutcome::Exit(55));
+    }
+
+    #[test]
+    fn memory_and_globals() {
+        let mut b = bin(vec![
+            MInstr::MovRI { rd: 1, imm: GLOBAL_BASE as i64 },
+            MInstr::Ld { rd: 0, mem: Mem::base_disp(1, 8) },
+            MInstr::Halt,
+        ]);
+        b.data[1] = 99;
+        assert_eq!(run(&b).outcome, RunOutcome::Exit(99));
+    }
+
+    #[test]
+    fn scaled_index_addressing() {
+        let mut b = bin(vec![
+            MInstr::MovRI { rd: 1, imm: GLOBAL_BASE as i64 },
+            MInstr::MovRI { rd: 2, imm: 3 },
+            MInstr::Ld { rd: 0, mem: Mem { base: Some(1), index: Some((2, 8)), disp: 0 } },
+            MInstr::Halt,
+        ]);
+        b.data[3] = 77;
+        assert_eq!(run(&b).outcome, RunOutcome::Exit(77));
+    }
+
+    #[test]
+    fn push_pop_and_call_ret() {
+        let b = bin(vec![
+            MInstr::Call { target: 3 },
+            MInstr::MovRR { rd: 0, ra: 1 },
+            MInstr::Halt,
+            // callee:
+            MInstr::MovRI { rd: 1, imm: 123 },
+            MInstr::Ret,
+        ]);
+        assert_eq!(run(&b).outcome, RunOutcome::Exit(123));
+    }
+
+    #[test]
+    fn segfault_on_wild_pointer() {
+        let b = bin(vec![
+            MInstr::MovRI { rd: 1, imm: 0x100 },
+            MInstr::Ld { rd: 0, mem: Mem::base_disp(1, 0) },
+            MInstr::Halt,
+        ]);
+        assert_eq!(run(&b).outcome, RunOutcome::Trap(Trap::Segfault(0x100)));
+    }
+
+    #[test]
+    fn misaligned_access_traps() {
+        let b = bin(vec![
+            MInstr::MovRI { rd: 1, imm: GLOBAL_BASE as i64 + 4 },
+            MInstr::Ld { rd: 0, mem: Mem::base_disp(1, 0) },
+            MInstr::Halt,
+        ]);
+        assert!(matches!(run(&b).outcome, RunOutcome::Trap(Trap::Misaligned(_))));
+    }
+
+    #[test]
+    fn div_fault() {
+        let b = bin(vec![
+            MInstr::MovRI { rd: 1, imm: 1 },
+            MInstr::MovRI { rd: 2, imm: 0 },
+            MInstr::Alu { op: AluOp::Div, rd: 0, ra: 1, rb: 2 },
+            MInstr::Halt,
+        ]);
+        assert_eq!(run(&b).outcome, RunOutcome::Trap(Trap::DivFault));
+    }
+
+    #[test]
+    fn corrupted_return_address_traps() {
+        let b = bin(vec![
+            MInstr::MovRI { rd: 1, imm: 0xdead_0000 },
+            MInstr::Push { rs: 1 },
+            MInstr::Ret,
+        ]);
+        assert_eq!(run(&b).outcome, RunOutcome::Trap(Trap::BadPc(0xdead_0000)));
+    }
+
+    #[test]
+    fn timeout_on_infinite_loop() {
+        let b = bin(vec![MInstr::Jmp { target: 0 }]);
+        let r = Machine::run(&b, &RunConfig { max_cycles: 1000, stack_words: 64 }, &mut NoFi, None);
+        assert_eq!(r.outcome, RunOutcome::Timeout);
+    }
+
+    #[test]
+    fn float_pipeline() {
+        let b = bin(vec![
+            MInstr::FMovRI { fd: 1, imm: 2.0f64.to_bits() },
+            MInstr::FMovRI { fd: 2, imm: 8.0f64.to_bits() },
+            MInstr::FAlu { op: FAluOp::Mul, fd: 0, fa: 1, fb: 2 },
+            MInstr::CallRt { func: RtFunc::Sqrt, imm: 0 },
+            MInstr::Cvt { kind: CvtKind::FToSi, dst: 0, src: 0 },
+            MInstr::Halt,
+        ]);
+        assert_eq!(run(&b).outcome, RunOutcome::Exit(4));
+    }
+
+    #[test]
+    fn fcmp_nan_unordered() {
+        let b = bin(vec![
+            MInstr::FMovRI { fd: 1, imm: f64::NAN.to_bits() },
+            MInstr::FMovRI { fd: 2, imm: 1.0f64.to_bits() },
+            MInstr::FCmp { fa: 1, fb: 2 },
+            MInstr::SetCc { cc: Cc::Gt, rd: 0 },
+            MInstr::Halt,
+        ]);
+        assert_eq!(run(&b).outcome, RunOutcome::Exit(0));
+    }
+
+    #[test]
+    fn output_events_recorded() {
+        let b = bin(vec![
+            MInstr::CallRt { func: RtFunc::PrintStr, imm: 0 },
+            MInstr::MovRI { rd: 0, imm: 5 },
+            MInstr::CallRt { func: RtFunc::PrintI64, imm: 0 },
+            MInstr::MovRI { rd: 0, imm: 0 },
+            MInstr::Halt,
+        ]);
+        let r = run(&b);
+        assert_eq!(
+            r.output,
+            vec![OutEvent::Str("hello".into()), OutEvent::I64(5)]
+        );
+    }
+
+    #[test]
+    fn flip_changes_register_bit() {
+        let b = bin(vec![MInstr::Halt]);
+        let mut m = Machine::new(&b, &RunConfig::default());
+        m.regs[3] = 0b100;
+        m.flip(Reg::G(3), 2);
+        assert_eq!(m.regs[3], 0);
+        m.flip(Reg::Flags, 1);
+        assert_eq!(m.flags, 0b10);
+        m.flip(Reg::F(1), 63);
+        assert_eq!(f64::from_bits(m.fregs[1]), -0.0);
+    }
+
+    /// Probe injection: flip the destination of a mov right after it
+    /// retires, and observe the changed exit code.
+    #[test]
+    fn probe_injects_after_instruction() {
+        struct OneShot;
+        impl Probe for OneShot {
+            fn before(&mut self, _pc: u32, instr: &MInstr, _n: u64) -> ProbeAction {
+                if matches!(instr, MInstr::MovRI { rd: 0, .. }) {
+                    ProbeAction::InjectAfter { op: 0, bit: 1, detach: true }
+                } else {
+                    ProbeAction::Continue
+                }
+            }
+        }
+        let b = bin(vec![MInstr::MovRI { rd: 0, imm: 0 }, MInstr::Halt]);
+        let r = Machine::run(&b, &RunConfig::default(), &mut NoFi, Some(&mut OneShot));
+        assert_eq!(r.outcome, RunOutcome::Exit(2));
+    }
+
+    /// Probe overhead counts cycles while attached and stops after detach.
+    #[test]
+    fn probe_overhead_and_detach() {
+        struct DetachAt(u64);
+        impl Probe for DetachAt {
+            fn before(&mut self, _pc: u32, _i: &MInstr, n: u64) -> ProbeAction {
+                if n >= self.0 {
+                    ProbeAction::Detach
+                } else {
+                    ProbeAction::Continue
+                }
+            }
+            fn overhead_cycles(&self) -> u64 {
+                100
+            }
+        }
+        let text = vec![
+            MInstr::MovRI { rd: 1, imm: 1 },
+            MInstr::MovRI { rd: 1, imm: 2 },
+            MInstr::MovRI { rd: 1, imm: 3 },
+            MInstr::MovRI { rd: 0, imm: 0 },
+            MInstr::Halt,
+        ];
+        let b = bin(text);
+        let attached = Machine::run(&b, &RunConfig::default(), &mut NoFi, Some(&mut DetachAt(u64::MAX)));
+        let early = Machine::run(&b, &RunConfig::default(), &mut NoFi, Some(&mut DetachAt(1)));
+        let native = Machine::run(&b, &RunConfig::default(), &mut NoFi, None);
+        assert!(attached.cycles > early.cycles);
+        assert!(early.cycles > native.cycles);
+    }
+}

@@ -1,0 +1,179 @@
+//! Code emission: layout, branch resolution, linking.
+
+use crate::mfunc::MModule;
+use refine_ir::Module;
+use refine_machine::{Binary, MInstr, Symbol};
+
+/// Build the data-segment image from a module's globals, in declaration
+/// order (the same layout the IR interpreter assumes).
+pub fn build_data(m: &Module) -> Vec<u64> {
+    let mut data = Vec::new();
+    for g in &m.globals {
+        match &g.init {
+            refine_ir::GlobalInit::Zero(n) => data.extend(std::iter::repeat(0u64).take(*n as usize)),
+            refine_ir::GlobalInit::I64s(v) => data.extend(v.iter().map(|x| *x as u64)),
+            refine_ir::GlobalInit::F64s(v) => data.extend(v.iter().map(|x| x.to_bits())),
+        }
+    }
+    data
+}
+
+/// Lay out and link a machine module into an executable binary.
+///
+/// A two-instruction startup shim (`call main; halt`) is placed at the
+/// entry, so `main`'s return value becomes the process exit code.
+pub fn emit(mm: &MModule) -> Binary {
+    let main_idx = mm
+        .func_index("main")
+        .expect("program must define main") as usize;
+
+    // --- First pass: decide per-function layout with jmp-to-next elision
+    //     and record block start offsets (function-relative).
+    struct FnLayout {
+        // (instr, needs_local_fix, needs_call_fix)
+        insts: Vec<MInstr>,
+        block_start: Vec<u32>,
+    }
+    let mut layouts = Vec::with_capacity(mm.funcs.len());
+    for f in &mm.funcs {
+        let mut insts = Vec::with_capacity(f.len());
+        let mut block_start = vec![0u32; f.blocks.len()];
+        for (bi, b) in f.blocks.iter().enumerate() {
+            block_start[bi] = insts.len() as u32;
+            for (ii, i) in b.insts.iter().enumerate() {
+                // Elide a trailing jump to the next block in layout order.
+                if ii + 1 == b.insts.len() {
+                    if let MInstr::Jmp { target } = i {
+                        if *target as usize == bi + 1 {
+                            continue;
+                        }
+                    }
+                }
+                insts.push(*i);
+            }
+        }
+        layouts.push(FnLayout { insts, block_start });
+    }
+
+    // --- Absolute entry of each function (after the 2-instruction shim).
+    let mut entries = Vec::with_capacity(mm.funcs.len());
+    let mut at = 2u32;
+    for l in &layouts {
+        entries.push(at);
+        at += l.insts.len() as u32;
+    }
+
+    // --- Second pass: patch targets and concatenate.
+    let mut text = Vec::with_capacity(at as usize);
+    text.push(MInstr::Call { target: entries[main_idx] });
+    text.push(MInstr::Halt);
+    let mut symbols = Vec::with_capacity(mm.funcs.len());
+    for (fi, l) in layouts.iter().enumerate() {
+        let base = entries[fi];
+        for i in &l.insts {
+            let patched = match i {
+                MInstr::Jmp { target } => MInstr::Jmp { target: base + l.block_start[*target as usize] },
+                MInstr::Jcc { cc, target } => {
+                    MInstr::Jcc { cc: *cc, target: base + l.block_start[*target as usize] }
+                }
+                MInstr::Call { target } => MInstr::Call { target: entries[*target as usize] },
+                other => *other,
+            };
+            text.push(patched);
+        }
+        symbols.push(Symbol {
+            name: mm.func_names[fi].clone(),
+            entry: base,
+            end: base + l.insts.len() as u32,
+        });
+    }
+
+    Binary {
+        text,
+        data: mm.globals.clone(),
+        symbols,
+        strings: mm.strings.clone(),
+        entry: 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mfunc::{MBlock, MFunction};
+    use refine_machine::{Cc, Mem};
+
+    #[test]
+    fn shim_and_symbols() {
+        let mm = MModule {
+            funcs: vec![MFunction {
+                name: "main".into(),
+                blocks: vec![MBlock {
+                    insts: vec![MInstr::MovRI { rd: 0, imm: 3 }, MInstr::Ret],
+                }],
+            }],
+            globals: vec![1, 2],
+            strings: vec!["s".into()],
+            func_names: vec!["main".into()],
+        };
+        let b = emit(&mm);
+        assert!(matches!(b.text[0], MInstr::Call { target: 2 }));
+        assert!(matches!(b.text[1], MInstr::Halt));
+        assert_eq!(b.symbols[0].name, "main");
+        assert_eq!(b.symbols[0].entry, 2);
+        assert_eq!(b.data, vec![1, 2]);
+    }
+
+    #[test]
+    fn branch_targets_resolved_and_fallthrough_elided() {
+        // Block 0: jcc -> block 2, jmp -> block 1 (next: elided)
+        // Block 1: jmp -> block 2 (next: elided)
+        // Block 2: ret
+        let f = MFunction {
+            name: "main".into(),
+            blocks: vec![
+                MBlock {
+                    insts: vec![
+                        MInstr::CmpI { ra: 0, imm: 0 },
+                        MInstr::Jcc { cc: Cc::E, target: 2 },
+                        MInstr::Jmp { target: 1 },
+                    ],
+                },
+                MBlock { insts: vec![MInstr::Ld { rd: 0, mem: Mem::abs(0x10000) }, MInstr::Jmp { target: 2 }] },
+                MBlock { insts: vec![MInstr::Ret] },
+            ],
+        };
+        let mm = MModule {
+            funcs: vec![f],
+            globals: vec![0],
+            strings: vec![],
+            func_names: vec!["main".into()],
+        };
+        let b = emit(&mm);
+        // Layout: 0:call 1:halt 2:cmpi 3:jcc 4:ld 5:ret
+        assert_eq!(b.text.len(), 6);
+        assert!(matches!(b.text[3], MInstr::Jcc { target: 5, .. }));
+    }
+
+    #[test]
+    fn cross_function_calls_resolved() {
+        let main = MFunction {
+            name: "main".into(),
+            blocks: vec![MBlock { insts: vec![MInstr::Call { target: 1 }, MInstr::Ret] }],
+        };
+        let helper = MFunction {
+            name: "helper".into(),
+            blocks: vec![MBlock { insts: vec![MInstr::MovRI { rd: 0, imm: 9 }, MInstr::Ret] }],
+        };
+        let mm = MModule {
+            funcs: vec![main, helper],
+            globals: vec![],
+            strings: vec![],
+            func_names: vec!["main".into(), "helper".into()],
+        };
+        let b = emit(&mm);
+        // helper entry = 2 (shim) + 2 (main) = 4
+        assert!(matches!(b.text[2], MInstr::Call { target: 4 }));
+        assert_eq!(b.symbols[1].entry, 4);
+    }
+}

@@ -1,0 +1,234 @@
+//! Dataflow liveness and live-interval construction for linear scan.
+
+use crate::vcode::{VFunc, Vr};
+#[cfg(test)]
+use crate::vcode::VInst;
+use std::collections::{HashMap, HashSet};
+
+/// A live interval over the linearized instruction numbering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interval {
+    /// The virtual register.
+    pub vreg: Vr,
+    /// First position where the value is live (its earliest definition, or
+    /// the start of the earliest block it is live into).
+    pub start: u32,
+    /// One past the last position where the value is read (or block end
+    /// where it is live-out).
+    pub end: u32,
+    /// True when a call-like instruction executes strictly inside the
+    /// interval: the value must survive the call, so it cannot live in a
+    /// caller-saved register.
+    pub crosses_call: bool,
+}
+
+/// Liveness analysis result: intervals (sorted by start) and the positions
+/// of call-like instructions.
+pub fn analyze(f: &VFunc) -> (Vec<Interval>, Vec<u32>) {
+    let nb = f.blocks.len();
+    // Linear positions.
+    let mut block_start = vec![0u32; nb];
+    let mut block_end = vec![0u32; nb];
+    let mut pos = 0u32;
+    for (bi, b) in f.blocks.iter().enumerate() {
+        block_start[bi] = pos;
+        pos += b.insts.len() as u32;
+        block_end[bi] = pos;
+    }
+
+    // Per-block use/def/live sets over vregs.
+    let mut gen: Vec<HashSet<Vr>> = vec![HashSet::new(); nb];
+    let mut kill: Vec<HashSet<Vr>> = vec![HashSet::new(); nb];
+    for (bi, b) in f.blocks.iter().enumerate() {
+        for inst in &b.insts {
+            for u in inst.uses() {
+                if !kill[bi].contains(&u) {
+                    gen[bi].insert(u);
+                }
+            }
+            for d in inst.defs() {
+                kill[bi].insert(d);
+            }
+        }
+    }
+
+    // Backward fixpoint.
+    let mut live_in: Vec<HashSet<Vr>> = vec![HashSet::new(); nb];
+    let mut live_out: Vec<HashSet<Vr>> = vec![HashSet::new(); nb];
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for bi in (0..nb).rev() {
+            let mut out: HashSet<Vr> = HashSet::new();
+            for s in f.successors(bi) {
+                out.extend(live_in[s as usize].iter().copied());
+            }
+            let mut inn: HashSet<Vr> = out.difference(&kill[bi]).copied().collect();
+            inn.extend(gen[bi].iter().copied());
+            if out != live_out[bi] || inn != live_in[bi] {
+                live_out[bi] = out;
+                live_in[bi] = inn;
+                changed = true;
+            }
+        }
+    }
+
+    // Build intervals.
+    let mut ranges: HashMap<Vr, (u32, u32)> = HashMap::new();
+    let extend = |v: Vr, s: u32, e: u32, ranges: &mut HashMap<Vr, (u32, u32)>| {
+        let r = ranges.entry(v).or_insert((s, e));
+        r.0 = r.0.min(s);
+        r.1 = r.1.max(e);
+    };
+    // Parameters are defined at position 0 (the ABI moves in the prologue).
+    for &p in &f.params {
+        extend(p, 0, 1, &mut ranges);
+    }
+    let mut call_sites = Vec::new();
+    for (bi, b) in f.blocks.iter().enumerate() {
+        let mut p = block_start[bi];
+        for inst in &b.insts {
+            if inst.is_call() {
+                call_sites.push(p);
+            }
+            for u in inst.uses() {
+                extend(u, p, p + 1, &mut ranges);
+            }
+            for d in inst.defs() {
+                extend(d, p, p + 1, &mut ranges);
+            }
+            p += 1;
+        }
+        for &v in &live_in[bi] {
+            extend(v, block_start[bi], block_start[bi] + 1, &mut ranges);
+        }
+        for &v in &live_out[bi] {
+            extend(v, block_start[bi], block_end[bi], &mut ranges);
+            // Live-out at a block implies live-in somewhere later too; the
+            // extend at the successor covers that side.
+        }
+    }
+
+    let mut intervals: Vec<Interval> = ranges
+        .into_iter()
+        .map(|(vreg, (start, end))| {
+            let crosses_call = call_sites
+                .iter()
+                .any(|&c| start < c && end > c + 1);
+            Interval { vreg, start, end, crosses_call }
+        })
+        .collect();
+    intervals.sort_by_key(|i| (i.start, i.end, i.vreg));
+    (intervals, call_sites)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vcode::VBlock;
+    use refine_machine::{AluOp, Cc, RtFunc};
+
+    fn func(blocks: Vec<Vec<VInst>>, n_int: u32) -> VFunc {
+        VFunc {
+            name: "t".into(),
+            blocks: blocks
+                .into_iter()
+                .map(|insts| VBlock { insts })
+                .collect(),
+            n_int,
+            n_flt: 0,
+            alloca_words: vec![],
+            params: vec![],
+        }
+    }
+
+    #[test]
+    fn straightline_intervals() {
+        let v0 = Vr::Int(0);
+        let v1 = Vr::Int(1);
+        let f = func(
+            vec![vec![
+                VInst::MovI { d: v0, imm: 1 },            // 0
+                VInst::MovI { d: v1, imm: 2 },            // 1
+                VInst::Alu { op: AluOp::Add, d: v0, a: v0, b: v1 }, // 2
+                VInst::Ret { val: Some(v0) },             // 3
+            ]],
+            2,
+        );
+        let (ints, calls) = analyze(&f);
+        assert!(calls.is_empty());
+        let i0 = ints.iter().find(|i| i.vreg == v0).unwrap();
+        let i1 = ints.iter().find(|i| i.vreg == v1).unwrap();
+        assert_eq!(i0.start, 0);
+        assert_eq!(i0.end, 4);
+        assert_eq!(i1.start, 1);
+        assert_eq!(i1.end, 3);
+    }
+
+    #[test]
+    fn crosses_call_detection() {
+        let v0 = Vr::Int(0);
+        let v1 = Vr::Int(1);
+        let f = func(
+            vec![vec![
+                VInst::MovI { d: v0, imm: 1 },                                // 0
+                VInst::RtCall { func: RtFunc::PrintI64, imm: 0, args: vec![], ret: None }, // 1
+                VInst::Mov { d: v1, a: v0 },                                  // 2
+                VInst::Ret { val: Some(v1) },                                 // 3
+            ]],
+            2,
+        );
+        let (ints, calls) = analyze(&f);
+        assert_eq!(calls, vec![1]);
+        assert!(ints.iter().find(|i| i.vreg == v0).unwrap().crosses_call);
+        assert!(!ints.iter().find(|i| i.vreg == v1).unwrap().crosses_call);
+    }
+
+    #[test]
+    fn call_args_do_not_cross_their_call() {
+        let v0 = Vr::Int(0);
+        let f = func(
+            vec![vec![
+                VInst::MovI { d: v0, imm: 1 }, // 0
+                VInst::RtCall { func: RtFunc::PrintI64, imm: 0, args: vec![v0], ret: None }, // 1
+                VInst::Ret { val: None },      // 2
+            ]],
+            1,
+        );
+        let (ints, _) = analyze(&f);
+        assert!(!ints.iter().find(|i| i.vreg == v0).unwrap().crosses_call);
+    }
+
+    #[test]
+    fn loop_keeps_value_live_through_body() {
+        let i = Vr::Int(0);
+        let acc = Vr::Int(1);
+        // b0: movi i,0; movi acc,0; jmp 1
+        // b1: alu acc+=i; alui i+=1; cmpi; jcc->1; jmp 2
+        // b2: ret acc
+        let f = func(
+            vec![
+                vec![
+                    VInst::MovI { d: i, imm: 0 },
+                    VInst::MovI { d: acc, imm: 0 },
+                    VInst::Jmp { bb: 1 },
+                ],
+                vec![
+                    VInst::Alu { op: AluOp::Add, d: acc, a: acc, b: i },
+                    VInst::AluI { op: AluOp::Add, d: i, a: i, imm: 1 },
+                    VInst::CmpI { a: i, imm: 10 },
+                    VInst::Jcc { cc: Cc::Lt, bb: 1 },
+                    VInst::Jmp { bb: 2 },
+                ],
+                vec![VInst::Ret { val: Some(acc) }],
+            ],
+            2,
+        );
+        let (ints, _) = analyze(&f);
+        let ii = ints.iter().find(|x| x.vreg == i).unwrap();
+        let ia = ints.iter().find(|x| x.vreg == acc).unwrap();
+        // Both must be live through the whole loop body (block 1 spans 3..8).
+        assert!(ii.start <= 3 && ii.end >= 8, "i interval {ii:?}");
+        assert!(ia.start <= 3 && ia.end >= 9, "acc interval {ia:?}");
+    }
+}

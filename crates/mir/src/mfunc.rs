@@ -1,0 +1,90 @@
+//! Final machine-code representation: basic blocks of physical-register
+//! [`MInstr`]s with symbolic (block-index) branch targets.
+//!
+//! This is the structure REFINE's backend pass instruments — the last
+//! representation before code emission. `Jmp`/`Jcc` targets are *local block
+//! indices* of the owning function; `Call` targets are *function indices* of
+//! the module. [`crate::emit::emit`] resolves both to absolute instruction
+//! indices.
+
+use refine_machine::MInstr;
+
+/// One machine basic block.
+#[derive(Debug, Clone, Default)]
+pub struct MBlock {
+    /// Instructions; control never falls off the end (every block closes
+    /// with `Jmp`, `Jcc`+`Jmp`, `Ret`, or `Halt`).
+    pub insts: Vec<MInstr>,
+}
+
+/// One machine function.
+#[derive(Debug, Clone)]
+pub struct MFunction {
+    /// Source-level name.
+    pub name: String,
+    /// Blocks in layout order; index 0 is the entry.
+    pub blocks: Vec<MBlock>,
+}
+
+impl MFunction {
+    /// Total instruction count.
+    pub fn len(&self) -> usize {
+        self.blocks.iter().map(|b| b.insts.len()).sum()
+    }
+
+    /// True when the function has no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Append a new block, returning its index.
+    pub fn add_block(&mut self) -> u32 {
+        self.blocks.push(MBlock::default());
+        (self.blocks.len() - 1) as u32
+    }
+
+    /// Iterate instructions with `(block, index)` coordinates.
+    pub fn iter_insts(&self) -> impl Iterator<Item = (usize, usize, &MInstr)> {
+        self.blocks
+            .iter()
+            .enumerate()
+            .flat_map(|(bi, b)| b.insts.iter().enumerate().map(move |(ii, i)| (bi, ii, i)))
+    }
+}
+
+/// A lowered module, ready for backend FI passes and emission.
+#[derive(Debug, Clone)]
+pub struct MModule {
+    /// Functions in IR order (indices match `Call` targets).
+    pub funcs: Vec<MFunction>,
+    /// Data segment image.
+    pub globals: Vec<u64>,
+    /// String literals.
+    pub strings: Vec<String>,
+    /// Function names in index order.
+    pub func_names: Vec<String>,
+}
+
+impl MModule {
+    /// Look up a function index by name.
+    pub fn func_index(&self, name: &str) -> Option<u32> {
+        self.func_names.iter().position(|n| n == name).map(|i| i as u32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_management() {
+        let mut f = MFunction { name: "f".into(), blocks: vec![MBlock::default()] };
+        assert!(f.is_empty());
+        let b = f.add_block();
+        assert_eq!(b, 1);
+        f.blocks[1].insts.push(MInstr::Halt);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f.iter_insts().count(), 1);
+        assert_eq!(f.iter_insts().next().unwrap().0, 1);
+    }
+}

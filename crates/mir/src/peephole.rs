@@ -1,0 +1,62 @@
+//! Post-RA peephole cleanup.
+
+use crate::mfunc::MFunction;
+use refine_machine::MInstr;
+
+/// Remove trivially redundant instructions. Returns the number removed.
+pub fn run(f: &mut MFunction) -> usize {
+    let mut removed = 0;
+    for b in &mut f.blocks {
+        let before = b.insts.len();
+        b.insts.retain(|i| match i {
+            // Self-moves do nothing (FLAGS untouched by movs).
+            MInstr::MovRR { rd, ra } => rd != ra,
+            MInstr::FMovRR { fd, fa } => fd != fa,
+            MInstr::Nop => false,
+            _ => true,
+        });
+        removed += before - b.insts.len();
+        // mov rX, imm; mov rX, imm2  ->  drop the first.
+        let mut i = 0;
+        while i + 1 < b.insts.len() {
+            let redundant = matches!(
+                (&b.insts[i], &b.insts[i + 1]),
+                (MInstr::MovRI { rd: a, .. }, MInstr::MovRI { rd: b2, .. }) if a == b2
+            );
+            if redundant {
+                b.insts.remove(i);
+                removed += 1;
+            } else {
+                i += 1;
+            }
+        }
+    }
+    removed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mfunc::MBlock;
+
+    #[test]
+    fn removes_self_moves_and_dead_movi() {
+        let mut f = MFunction {
+            name: "t".into(),
+            blocks: vec![MBlock {
+                insts: vec![
+                    MInstr::MovRR { rd: 1, ra: 1 },
+                    MInstr::MovRI { rd: 2, imm: 5 },
+                    MInstr::MovRI { rd: 2, imm: 7 },
+                    MInstr::FMovRR { fd: 3, fa: 3 },
+                    MInstr::MovRR { rd: 1, ra: 2 },
+                    MInstr::Ret,
+                ],
+            }],
+        };
+        let n = run(&mut f);
+        assert_eq!(n, 3);
+        assert_eq!(f.blocks[0].insts.len(), 3);
+        assert!(matches!(f.blocks[0].insts[0], MInstr::MovRI { imm: 7, .. }));
+    }
+}

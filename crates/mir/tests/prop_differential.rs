@@ -1,0 +1,225 @@
+//! Property-based differential testing: randomly generated programs must
+//! behave identically under the IR interpreter and the compiled machine —
+//! including trap behaviour — at both optimization levels.
+
+use proptest::prelude::*;
+use refine_ir::interp::{Interp, OutEvent as IrEvent};
+use refine_ir::passes::OptLevel;
+use refine_ir::{
+    CastOp, FBinOp, FuncBuilder, GlobalInit, IBinOp, IPred, Module, Operand, Ty,
+};
+use refine_machine::{Machine, NoFi, OutEvent as MEvent, RunConfig, RunOutcome};
+
+/// One step of a random straight-line integer/float program.
+#[derive(Debug, Clone)]
+enum Step {
+    /// Apply an integer binop to two existing int values.
+    IBin(IBinOp, usize, usize),
+    /// Apply a float binop to two existing float values.
+    FBin(FBinOp, usize, usize),
+    /// Compare two ints and zext the result.
+    CmpZext(IPred, usize, usize),
+    /// Convert int -> float.
+    ToF(usize),
+    /// Convert float -> int.
+    ToI(usize),
+    /// Store an int value to the scratch global, then load it back.
+    RoundTrip(usize, u8),
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        (
+            prop_oneof![
+                Just(IBinOp::Add),
+                Just(IBinOp::Sub),
+                Just(IBinOp::Mul),
+                Just(IBinOp::Div),
+                Just(IBinOp::Rem),
+                Just(IBinOp::And),
+                Just(IBinOp::Or),
+                Just(IBinOp::Xor),
+                Just(IBinOp::Shl),
+                Just(IBinOp::LShr),
+                Just(IBinOp::AShr),
+            ],
+            any::<usize>(),
+            any::<usize>()
+        )
+            .prop_map(|(op, a, b)| Step::IBin(op, a, b)),
+        (
+            prop_oneof![
+                Just(FBinOp::Add),
+                Just(FBinOp::Sub),
+                Just(FBinOp::Mul),
+                Just(FBinOp::Div)
+            ],
+            any::<usize>(),
+            any::<usize>()
+        )
+            .prop_map(|(op, a, b)| Step::FBin(op, a, b)),
+        (
+            prop_oneof![
+                Just(IPred::Eq),
+                Just(IPred::Ne),
+                Just(IPred::Slt),
+                Just(IPred::Sle),
+                Just(IPred::Sgt),
+                Just(IPred::Sge)
+            ],
+            any::<usize>(),
+            any::<usize>()
+        )
+            .prop_map(|(p, a, b)| Step::CmpZext(p, a, b)),
+        any::<usize>().prop_map(Step::ToF),
+        any::<usize>().prop_map(Step::ToI),
+        (any::<usize>(), 0u8..8).prop_map(|(v, s)| Step::RoundTrip(v, s)),
+    ]
+}
+
+/// Build a module from the random recipe.
+fn build(seeds_i: &[i64], seeds_f: &[f64], steps: &[Step]) -> Module {
+    let mut m = Module::new();
+    let g = m.add_global("scratch", GlobalInit::Zero(8));
+    let mut b = FuncBuilder::new("main", vec![], Some(Ty::I64));
+    let mut ints: Vec<Operand> = seeds_i.iter().map(|v| {
+        // materialize through an op so constants are not folded trivially
+        b.ibin(IBinOp::Add, Operand::ConstI(*v), Operand::ConstI(0))
+    }).collect();
+    let mut flts: Vec<Operand> = seeds_f
+        .iter()
+        .map(|v| b.fbin(FBinOp::Add, Operand::ConstF(*v), Operand::ConstF(0.0)))
+        .collect();
+    for s in steps {
+        match s {
+            Step::IBin(op, x, y) => {
+                let a = ints[x % ints.len()];
+                let c = ints[y % ints.len()];
+                let r = b.ibin(*op, a, c);
+                ints.push(r);
+            }
+            Step::FBin(op, x, y) => {
+                let a = flts[x % flts.len()];
+                let c = flts[y % flts.len()];
+                let r = b.fbin(*op, a, c);
+                flts.push(r);
+            }
+            Step::CmpZext(p, x, y) => {
+                let a = ints[x % ints.len()];
+                let c = ints[y % ints.len()];
+                let cmp = b.icmp(*p, a, c);
+                ints.push(b.cast(CastOp::I1ToI64, cmp));
+            }
+            Step::ToF(x) => {
+                let a = ints[x % ints.len()];
+                flts.push(b.cast(CastOp::SiToF, a));
+            }
+            Step::ToI(x) => {
+                let a = flts[x % flts.len()];
+                ints.push(b.cast(CastOp::FToSi, a));
+            }
+            Step::RoundTrip(x, slot) => {
+                let a = ints[x % ints.len()];
+                let addr = b.elem(Operand::Global(g), Operand::ConstI(*slot as i64));
+                b.store(addr, a, Ty::I64);
+                ints.push(b.load(addr, Ty::I64));
+            }
+        }
+    }
+    // Checksum everything.
+    let mut acc = Operand::ConstI(0);
+    for v in &ints {
+        acc = b.ibin(IBinOp::Add, acc, *v);
+    }
+    for v in &flts {
+        // Hash float bits into the checksum (bitwise-exact comparison).
+        let bits = b.cast(CastOp::FToBits, *v);
+        acc = b.ibin(IBinOp::Xor, acc, bits);
+    }
+    // Also print one int and one float to exercise the output path.
+    b.intrinsic(refine_ir::Intrinsic::PrintI64, vec![*ints.last().unwrap()]);
+    b.intrinsic(refine_ir::Intrinsic::PrintF64, vec![*flts.last().unwrap()]);
+    b.ret(Some(acc));
+    m.add_function(b.finish());
+    m
+}
+
+#[derive(Debug, PartialEq)]
+enum Behaviour {
+    Exit(i64, Vec<String>),
+    Trap,
+}
+
+fn ir_behaviour(m: &Module) -> Behaviour {
+    match Interp::new(m, 10_000_000).run() {
+        Ok(r) => Behaviour::Exit(
+            r.exit_code,
+            r.output
+                .iter()
+                .map(|e| match e {
+                    IrEvent::I64(v) => format!("{v}"),
+                    IrEvent::F64(v) => format!("{:016x}", v.to_bits()),
+                    IrEvent::Str(s) => s.clone(),
+                })
+                .collect(),
+        ),
+        Err(_) => Behaviour::Trap,
+    }
+}
+
+fn machine_behaviour(m: &Module, level: OptLevel) -> Behaviour {
+    let bin = refine_mir::compile(m, level);
+    let r = Machine::run(&bin, &RunConfig::default(), &mut NoFi, None);
+    match r.outcome {
+        RunOutcome::Exit(code) => Behaviour::Exit(
+            code,
+            r.output
+                .iter()
+                .map(|e| match e {
+                    MEvent::I64(v) => format!("{v}"),
+                    MEvent::F64(v) => format!("{:016x}", v.to_bits()),
+                    MEvent::Str(s) => s.clone(),
+                })
+                .collect(),
+        ),
+        RunOutcome::Trap(_) => Behaviour::Trap,
+        RunOutcome::Timeout => panic!("straight-line program timed out"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Interpreter and compiled machine agree (exit code, bit-exact output,
+    /// trap-or-not) on random straight-line programs at O0 and O2.
+    #[test]
+    fn prop_compile_matches_interp(
+        seeds_i in proptest::collection::vec(-1000i64..1000, 2..5),
+        seeds_f in proptest::collection::vec(-100.0f64..100.0, 2..4),
+        steps in proptest::collection::vec(step_strategy(), 1..40),
+    ) {
+        let m = build(&seeds_i, &seeds_f, &steps);
+        refine_ir::verify::verify_module(&m).expect("generated IR verifies");
+        let want = ir_behaviour(&m);
+        for level in [OptLevel::O0, OptLevel::O2] {
+            let got = machine_behaviour(&m, level);
+            prop_assert_eq!(&got, &want, "divergence at {:?}", level);
+        }
+    }
+
+    /// The optimizer is semantics-preserving on its own: optimized IR
+    /// interprets identically to unoptimized IR.
+    #[test]
+    fn prop_optimizer_preserves_interp(
+        seeds_i in proptest::collection::vec(-50i64..50, 2..4),
+        seeds_f in proptest::collection::vec(-10.0f64..10.0, 2..3),
+        steps in proptest::collection::vec(step_strategy(), 1..30),
+    ) {
+        let m = build(&seeds_i, &seeds_f, &steps);
+        let want = ir_behaviour(&m);
+        let mut opt = m.clone();
+        refine_ir::passes::optimize(&mut opt, OptLevel::O2);
+        refine_ir::verify::verify_module(&opt).expect("optimized IR verifies");
+        prop_assert_eq!(ir_behaviour(&opt), want);
+    }
+}

@@ -1,0 +1,164 @@
+//! Opcode corruption — the paper's §4.5 "future work" extension.
+//!
+//! REFINE (and our reproduction of it) can only flip bits in register
+//! *values*: the compiler's emission stage refuses to assemble invalid
+//! opcodes, so faults in the instruction encoding itself are out of its
+//! reach. The paper sketches two remedies — corrupting the memory that
+//! holds the opcodes, or relaxing the assembler's validity checks. A
+//! binary-level tool has no such restriction: it can flip any bit of the
+//! encoded instruction *before decode*.
+//!
+//! [`OpcodeInjector`] implements exactly that on the M64 binary: at the
+//! target dynamic instruction it flips one uniformly drawn bit of the
+//! 128-bit encoded form, re-decodes, and substitutes the result. An
+//! undecodable word raises [`refine_machine::Trap::IllegalInstr`],
+//! mirroring a real CPU's `#UD`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use refine_machine::encode::{decode, encode};
+use refine_machine::{MInstr, Probe, ProbeAction};
+
+/// What a single opcode-bit flip produced.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OpcodeFault {
+    /// The corrupted word decodes to a different valid instruction, which
+    /// was executed in place of the original.
+    Mutated {
+        /// Original instruction.
+        from: MInstr,
+        /// Instruction actually executed.
+        to: MInstr,
+    },
+    /// The corrupted word does not decode: illegal instruction.
+    Illegal,
+    /// The flipped bit sits in an ignored field of the encoding: the word
+    /// decodes to the identical instruction (a benign encoding fault).
+    Unchanged,
+}
+
+/// A binary-level injector that corrupts the *encoding* of the target
+/// dynamic instruction rather than its output registers.
+#[derive(Debug)]
+pub struct OpcodeInjector {
+    /// 1-based dynamic target among instructions (every instruction
+    /// counts — opcode faults are not limited to register-writers).
+    pub target: u64,
+    count: u64,
+    rng: StdRng,
+    /// The outcome of the flip, once fired.
+    pub fault: Option<OpcodeFault>,
+}
+
+impl OpcodeInjector {
+    /// New injector firing at dynamic instruction `target`.
+    pub fn new(target: u64, seed: u64) -> Self {
+        OpcodeInjector {
+            target,
+            count: 0,
+            rng: StdRng::seed_from_u64(seed),
+            fault: None,
+        }
+    }
+
+    /// True once the fault was applied.
+    pub fn fired(&self) -> bool {
+        self.fault.is_some()
+    }
+}
+
+impl Probe for OpcodeInjector {
+    fn before(&mut self, _pc: u32, instr: &MInstr, _retired: u64) -> ProbeAction {
+        self.count += 1;
+        if self.count != self.target || self.fault.is_some() {
+            return ProbeAction::Continue;
+        }
+        let (w0, w1) = encode(instr);
+        let bit = self.rng.gen_range(0..128u32);
+        let (c0, c1) = if bit < 64 { (w0 ^ (1 << bit), w1) } else { (w0, w1 ^ (1 << (bit - 64))) };
+        match decode(c0, c1) {
+            Ok(mutated) if mutated == *instr => {
+                self.fault = Some(OpcodeFault::Unchanged);
+                ProbeAction::Detach
+            }
+            Ok(mutated) => {
+                self.fault = Some(OpcodeFault::Mutated { from: *instr, to: mutated });
+                ProbeAction::Substitute { instr: mutated, detach: true }
+            }
+            Err(_) => {
+                self.fault = Some(OpcodeFault::Illegal);
+                ProbeAction::IllegalInstr
+            }
+        }
+    }
+
+    fn overhead_cycles(&self) -> u64 {
+        crate::PIN_OVERHEAD_CYCLES
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use refine_core::FiOptions;
+    use refine_ir::passes::OptLevel;
+    use refine_machine::{Machine, NoFi, RunConfig, RunOutcome, Trap};
+
+    fn binary() -> refine_machine::Binary {
+        let m = refine_frontend::compile_source(
+            "fvar q[16];\n\
+             fn main() {\n\
+               for (i = 0; i < 16; i = i + 1) { q[i] = float(i) * 0.5 + 1.0; }\n\
+               let s: float = 0.0;\n\
+               for (i = 0; i < 16; i = i + 1) { s = s + q[i] * q[i]; }\n\
+               print_f(s);\n\
+               return 0;\n\
+             }",
+        )
+        .unwrap();
+        refine_core::compile_with_fi(&m, OptLevel::O2, &FiOptions::default()).binary
+    }
+
+    #[test]
+    fn opcode_faults_fire_and_produce_both_kinds() {
+        let b = binary();
+        let native = Machine::run(&b, &RunConfig::default(), &mut NoFi, None);
+        let total = native.instrs_retired;
+        let (mut mutated, mut illegal) = (0, 0);
+        for k in 0..120u64 {
+            let target = 1 + (total * (k % 60) / 60);
+            let mut inj = OpcodeInjector::new(target, k);
+            let cfg = RunConfig { max_cycles: native.cycles * 12, stack_words: 1 << 16 };
+            let r = Machine::run(&b, &cfg, &mut NoFi, Some(&mut inj));
+            match &inj.fault {
+                Some(OpcodeFault::Mutated { from, to }) => {
+                    mutated += 1;
+                    assert_ne!(from, to, "substitute must differ");
+                }
+                Some(OpcodeFault::Illegal) => {
+                    illegal += 1;
+                    assert_eq!(
+                        r.outcome,
+                        RunOutcome::Trap(Trap::IllegalInstr),
+                        "illegal opcodes must trap"
+                    );
+                }
+                Some(OpcodeFault::Unchanged) | None => {}
+            }
+        }
+        assert!(mutated > 0, "no valid-opcode mutations observed");
+        assert!(illegal > 0, "no illegal-opcode faults observed");
+    }
+
+    #[test]
+    fn opcode_faults_are_deterministic() {
+        let b = binary();
+        let cfg = RunConfig::default();
+        let mut a = OpcodeInjector::new(500, 9);
+        let ra = Machine::run(&b, &cfg, &mut NoFi, Some(&mut a));
+        let mut c = OpcodeInjector::new(500, 9);
+        let rc = Machine::run(&b, &cfg, &mut NoFi, Some(&mut c));
+        assert_eq!(a.fault, c.fault);
+        assert_eq!(ra.outcome, rc.outcome);
+    }
+}

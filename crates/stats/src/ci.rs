@@ -1,0 +1,73 @@
+//! Confidence intervals for outcome proportions (the error bars of the
+//! paper's Figure 4).
+
+/// Normal-approximation (Wald) interval for a proportion: `p ± z·√(p(1-p)/n)`.
+/// Returns `(low, high)` clamped to `[0, 1]`.
+pub fn proportion_ci(successes: u64, n: u64, z: f64) -> (f64, f64) {
+    assert!(n > 0, "empty sample");
+    let p = successes as f64 / n as f64;
+    let half = z * (p * (1.0 - p) / n as f64).sqrt();
+    ((p - half).max(0.0), (p + half).min(1.0))
+}
+
+/// Wilson score interval — better behaved near 0/1 than Wald.
+pub fn wilson_ci(successes: u64, n: u64, z: f64) -> (f64, f64) {
+    assert!(n > 0, "empty sample");
+    let p = successes as f64 / n as f64;
+    let nf = n as f64;
+    let z2 = z * z;
+    let denom = 1.0 + z2 / nf;
+    let center = (p + z2 / (2.0 * nf)) / denom;
+    let half = (z / denom) * (p * (1.0 - p) / nf + z2 / (4.0 * nf * nf)).sqrt();
+    ((center - half).max(0.0), (center + half).min(1.0))
+}
+
+/// The z-score for a 95% two-sided confidence level.
+pub const Z_95: f64 = 1.959_963_984_540_054;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wald_interval_basics() {
+        let (lo, hi) = proportion_ci(534, 1068, Z_95);
+        assert!((lo - 0.47).abs() < 0.01);
+        assert!((hi - 0.53).abs() < 0.01);
+        // Margin of error at n=1068, p=0.5 is = 3% (the paper's design point).
+        assert!((hi - lo) / 2.0 <= 0.0301);
+    }
+
+    #[test]
+    fn wald_clamps_to_unit_interval() {
+        let (lo, _) = proportion_ci(0, 100, Z_95);
+        assert_eq!(lo, 0.0);
+        let (_, hi) = proportion_ci(100, 100, Z_95);
+        assert_eq!(hi, 1.0);
+    }
+
+    #[test]
+    fn wilson_contains_point_estimate() {
+        for &(s, n) in &[(1u64, 50u64), (25, 50), (49, 50), (0, 10)] {
+            let p = s as f64 / n as f64;
+            let (lo, hi) = wilson_ci(s, n, Z_95);
+            assert!(lo <= p + 1e-12 && p <= hi + 1e-12);
+            assert!(lo >= 0.0 && hi <= 1.0);
+        }
+    }
+
+    #[test]
+    fn wilson_is_nonzero_at_zero_successes() {
+        // Unlike Wald, the Wilson upper bound is informative at 0/n.
+        let (lo, hi) = wilson_ci(0, 100, Z_95);
+        assert!(lo < 1e-12);
+        assert!(hi > 0.0 && hi < 0.05);
+    }
+
+    #[test]
+    fn intervals_shrink_with_n() {
+        let (l1, h1) = proportion_ci(50, 100, Z_95);
+        let (l2, h2) = proportion_ci(500, 1000, Z_95);
+        assert!(h2 - l2 < h1 - l1);
+    }
+}

@@ -1,0 +1,20 @@
+#![warn(missing_docs)]
+
+//! `refine-stats` — the statistical machinery of the paper's evaluation.
+//!
+//! * [`chi2`] — Pearson chi-squared tests on contingency tables (Table 4/5),
+//!   with p-values computed from the regularized incomplete gamma function;
+//! * [`gamma`] — `ln Γ`, lower/upper regularized incomplete gamma;
+//! * [`ci`] — confidence intervals for outcome proportions (the error bars
+//!   of Figure 4);
+//! * [`samples`] — the Leveugle et al. statistical fault-injection sample
+//!   size (why the paper runs exactly 1,068 experiments per configuration).
+
+pub mod chi2;
+pub mod ci;
+pub mod gamma;
+pub mod samples;
+
+pub use chi2::{chi2_contingency, Chi2Result};
+pub use ci::{proportion_ci, wilson_ci};
+pub use samples::sample_size;

@@ -1,0 +1,58 @@
+//! Statistical fault-injection sample sizing (Leveugle et al., DATE'09),
+//! the method the paper uses to justify 1,068 experiments per configuration
+//! (margin of error ≤ 3% at 95% confidence).
+
+use crate::ci::Z_95;
+
+/// Number of samples needed from a population of `population` faults for
+/// margin of error `e` at confidence z-score `z`, assuming worst-case
+/// p = 0.5:
+///
+/// `n = N / (1 + e² (N-1) / (z² p(1-p)))`
+pub fn sample_size(population: u64, e: f64, z: f64) -> u64 {
+    assert!(population > 0 && e > 0.0 && z > 0.0);
+    let n = population as f64;
+    let p = 0.5;
+    let num = n;
+    let den = 1.0 + e * e * (n - 1.0) / (z * z * p * (1.0 - p));
+    (num / den).ceil() as u64
+}
+
+/// The paper's design point: e = 3%, 95% confidence, effectively infinite
+/// population — 1,068 samples.
+pub fn paper_sample_size(population: u64) -> u64 {
+    sample_size(population, 0.03, Z_95)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn large_population_gives_1068() {
+        // The paper's number: infinite-population limit of 3%@95% is 1067.07,
+        // so 1068 samples.
+        assert_eq!(paper_sample_size(1_000_000_000), 1068);
+        assert_eq!(paper_sample_size(100_000_000), 1068);
+    }
+
+    #[test]
+    fn moderate_population_needs_fewer() {
+        let n = paper_sample_size(10_000);
+        assert!(n < 1068, "finite-population correction: {n}");
+        assert!(n > 900);
+    }
+
+    #[test]
+    fn tiny_population_caps_at_population() {
+        assert!(paper_sample_size(50) <= 50);
+    }
+
+    #[test]
+    fn tighter_error_needs_more_samples() {
+        let loose = sample_size(1_000_000_000, 0.05, Z_95);
+        let tight = sample_size(1_000_000_000, 0.01, Z_95);
+        assert!(loose < 1068);
+        assert!(tight > 9000);
+    }
+}

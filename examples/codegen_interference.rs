@@ -1,0 +1,112 @@
+//! Reproduces the paper's Listings 1 and 2: what the IR hides from FI
+//! tools, and how IR-level instrumentation degrades code generation.
+//!
+//! * Listing 1 — a function in IR form (virtual registers, no
+//!   prologue/epilogue) next to its machine code (push/pop, frame setup,
+//!   spills).
+//! * Listing 2 — the same function compiled clean vs compiled after
+//!   LLFI-style instrumentation: the `injectFault` calls force spills and
+//!   defeat compare+branch fusion, exactly as in Listing 2c.
+//!
+//! Run with: `cargo run --example codegen_interference`
+
+use refine_core::{compile_with_fi, FiOptions};
+use refine_ir::passes::OptLevel;
+
+/// A `compute_residual`-flavoured kernel (HPCCG's, per the paper).
+const SOURCE: &str = r#"
+fvar v1[64];
+fvar v2[64];
+
+fn compute_residual(n) : float {
+    let local_residual: float = 0.0;
+    for (i = 0; i < n; i = i + 1) {
+        let diff: float = fabs(v1[i] - v2[i]);
+        if (diff > local_residual) { local_residual = diff; }
+    }
+    return local_residual;
+}
+
+fn main() {
+    for (i = 0; i < 64; i = i + 1) {
+        v1[i] = float(i) * 0.5;
+        v2[i] = float(i) * 0.5 + 0.001 * float(i % 3);
+    }
+    print_f(compute_residual(64));
+    return 0;
+}
+"#;
+
+fn main() {
+    let module = refine_frontend::compile_source(SOURCE).unwrap();
+
+    // ------- Listing 1a analogue: optimized IR.
+    let mut opt = module.clone();
+    refine_ir::passes::optimize(&mut opt, OptLevel::O2);
+    let f = opt.func_by_name("compute_residual").unwrap();
+    println!("===== Listing 1a: compute_residual, optimized IR =====");
+    println!("{}", refine_ir::printer::print_function(&opt, opt.func(f)));
+
+    // ------- Listing 1b/2b analogue: clean machine code.
+    let clean = compile_with_fi(&module, OptLevel::O2, &FiOptions::default());
+    println!("===== Listing 2b: machine code WITHOUT FI instrumentation =====");
+    println!("{}", clean.binary.disasm("compute_residual").unwrap());
+
+    // ------- Listing 2c analogue: machine code after LLFI instrumentation.
+    let (llfi, sites) = refine_llfi::compile_with_llfi(
+        &module,
+        OptLevel::O2,
+        &refine_llfi::LlfiOptions::default(),
+    );
+    println!(
+        "===== Listing 2c: machine code WITH IR-level (LLFI) instrumentation ({} IR sites) =====",
+        sites.len()
+    );
+    println!("{}", llfi.binary.disasm("compute_residual").unwrap());
+
+    // ------- Quantify the interference.
+    let count = |b: &refine_machine::Binary, name: &str, pred: &dyn Fn(&refine_machine::MInstr) -> bool| {
+        let sym = b.symbols.iter().find(|s| s.name == name).unwrap();
+        b.text[sym.entry as usize..sym.end as usize]
+            .iter()
+            .filter(|i| pred(i))
+            .count()
+    };
+    let is_spill = |i: &refine_machine::MInstr| match i {
+        refine_machine::MInstr::Ld { mem, .. } | refine_machine::MInstr::St { mem, .. } => {
+            mem.base == Some(refine_machine::isa::FP)
+        }
+        refine_machine::MInstr::FLd { mem, .. } | refine_machine::MInstr::FSt { mem, .. } => {
+            mem.base == Some(refine_machine::isa::FP)
+        }
+        _ => false,
+    };
+    let is_call = |i: &refine_machine::MInstr| matches!(i, refine_machine::MInstr::CallRt { .. });
+    println!("===== Interference summary (compute_residual) =====");
+    println!(
+        "{:28} {:>8} {:>8}",
+        "", "clean", "LLFI"
+    );
+    println!(
+        "{:28} {:>8} {:>8}",
+        "static instructions",
+        count(&clean.binary, "compute_residual", &|_| true),
+        count(&llfi.binary, "compute_residual", &|_| true)
+    );
+    println!(
+        "{:28} {:>8} {:>8}",
+        "frame (spill) accesses",
+        count(&clean.binary, "compute_residual", &is_spill),
+        count(&llfi.binary, "compute_residual", &is_spill)
+    );
+    println!(
+        "{:28} {:>8} {:>8}",
+        "runtime calls",
+        count(&clean.binary, "compute_residual", &is_call),
+        count(&llfi.binary, "compute_residual", &is_call)
+    );
+    println!(
+        "\nREFINE avoids all of this: its pass runs after code generation, so the\n\
+         application instructions above stay exactly as in the clean binary."
+    );
+}

@@ -1,0 +1,57 @@
+//! Quickstart: compile a small program with REFINE instrumentation, run the
+//! profiling phase, inject one fault, and classify the outcome — the full
+//! workflow of the paper's Figure 3 in ~60 lines.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use refine_campaign::{classify, Golden};
+use refine_core::{compile_with_fi, FiOptions, InjectingRt, ProfilingRt};
+use refine_ir::passes::OptLevel;
+use refine_machine::{Machine, RunConfig};
+
+fn main() {
+    // 1. A small numerical program in MiniLang (the workspace's C stand-in).
+    let source = r#"
+        fvar data[64];
+        fn main() {
+            for (i = 0; i < 64; i = i + 1) { data[i] = sqrt(float(i) + 1.0); }
+            let s: float = 0.0;
+            for (i = 0; i < 64; i = i + 1) { s = s + data[i]; }
+            print_s("sum of square roots:");
+            print_f(s);
+            return 0;
+        }
+    "#;
+    let module = refine_frontend::compile_source(source).expect("compiles");
+
+    // 2. Compile with the paper's flags: -fi=true -fi-funcs=* -fi-instrs=all.
+    //    The REFINE pass instruments final machine instructions, right
+    //    before emission.
+    let compiled = compile_with_fi(&module, OptLevel::O2, &FiOptions::all());
+    println!("instrumented {} static sites", compiled.sites.len());
+
+    // 3. Profiling phase: count dynamic target instructions, capture the
+    //    golden output.
+    let cfg = RunConfig::default();
+    let mut prof = ProfilingRt::default();
+    let profile = Machine::run(&compiled.binary, &cfg, &mut prof, None);
+    let golden = Golden::from_run(&profile);
+    println!(
+        "profile: {} dynamic FI targets, {} cycles, golden output = {:?}",
+        prof.count, profile.cycles, golden.lines
+    );
+
+    // 4. Injection phase: flip one bit at the middle dynamic instruction.
+    let trial_cfg = RunConfig { max_cycles: profile.cycles * 10, ..cfg };
+    let mut injector = InjectingRt::new(prof.count / 2, 0xC0FFEE);
+    let faulty = Machine::run(&compiled.binary, &trial_cfg, &mut injector, None);
+    let log = injector.log.expect("fault fired");
+    println!(
+        "injected at dynamic instruction {} (site {}), operand {}, bit {}",
+        log.dynamic_index, log.site, log.operand, log.bit
+    );
+
+    // 5. Classify: crash / SOC / benign.
+    let outcome = classify(&golden, &faulty);
+    println!("outcome: {} ({:?})", outcome.label(), faulty.outcome);
+}

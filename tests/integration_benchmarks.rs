@@ -1,0 +1,80 @@
+//! Benchmark-suite quality gates: deterministic goldens, sensible sizes,
+//! meaningful function structure, numerically finite results.
+
+use refine_ir::interp::{Interp, OutEvent};
+
+#[test]
+fn goldens_are_finite_numbers() {
+    for b in refine_benchmarks::all() {
+        let m = b.module();
+        let r = Interp::new(&m, 100_000_000).run().unwrap();
+        let mut floats = 0;
+        for e in &r.output {
+            if let OutEvent::F64(v) = e {
+                assert!(v.is_finite(), "{} printed a non-finite value: {v}", b.name);
+                floats += 1;
+            }
+        }
+        assert!(floats >= 1, "{} should print at least one floating result", b.name);
+    }
+}
+
+/// Every program keeps the real application's function decomposition
+/// (needed for `-fi-funcs` selection to mean anything).
+#[test]
+fn programs_have_function_structure() {
+    for b in refine_benchmarks::all() {
+        let m = b.module();
+        assert!(
+            m.funcs.len() >= 2,
+            "{} must have kernels besides main (found {})",
+            b.name,
+            m.funcs.len()
+        );
+        assert!(m.func_by_name("main").is_some());
+    }
+}
+
+/// Dynamic sizes stay inside the band the campaign was budgeted for.
+#[test]
+fn dynamic_sizes_within_band() {
+    for b in refine_benchmarks::all() {
+        let m = b.module();
+        let r = Interp::new(&m, 100_000_000).run().unwrap();
+        assert!(
+            r.instrs_executed > 10_000,
+            "{}: too small ({} IR instrs) to be a meaningful FI subject",
+            b.name,
+            r.instrs_executed
+        );
+        assert!(
+            r.instrs_executed < 2_000_000,
+            "{}: too large ({} IR instrs) for a 44,856-run campaign",
+            b.name,
+            r.instrs_executed
+        );
+    }
+}
+
+/// Golden outputs are snapshot-stable (guards against accidental benchmark
+/// edits silently changing every experiment).
+#[test]
+fn golden_snapshots() {
+    // Spot-check three apps end to end; values recorded from the first
+    // verified run of the suite.
+    let checks: [(&str, usize); 3] = [("HPCCG-1.0", 3), ("CoMD", 3), ("EP", 8)];
+    for (name, expected_events) in checks {
+        let b = refine_benchmarks::by_name(name).unwrap();
+        let r = Interp::new(&b.module(), 100_000_000).run().unwrap();
+        assert_eq!(
+            r.output.len(),
+            expected_events,
+            "{name}: event count changed — update snapshots deliberately"
+        );
+    }
+    // HPCCG's residual must be small (CG converges) and its x-norm stable.
+    let b = refine_benchmarks::by_name("HPCCG-1.0").unwrap();
+    let r = Interp::new(&b.module(), 100_000_000).run().unwrap();
+    let OutEvent::F64(resid) = r.output[1] else { panic!("expected residual") };
+    assert!(resid < 1.0, "CG did not converge: residual {resid}");
+}

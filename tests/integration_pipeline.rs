@@ -1,0 +1,142 @@
+//! Cross-crate pipeline integration: frontend -> IR -> optimizer ->
+//! backend -> machine, with the IR interpreter as the oracle
+//! (DESIGN.md invariants 1 and 2) — over the *entire* benchmark suite.
+
+use refine_campaign::format_events;
+use refine_core::{compile_with_fi, FiOptions, ProfilingRt};
+use refine_ir::interp::{Interp, OutEvent as IrEvent};
+use refine_ir::passes::OptLevel;
+use refine_machine::{Machine, NoFi, OutEvent as MEvent, RunConfig, RunOutcome};
+
+fn ir_events_to_machine(ev: &[IrEvent]) -> Vec<MEvent> {
+    ev.iter()
+        .map(|e| match e {
+            IrEvent::I64(v) => MEvent::I64(*v),
+            IrEvent::F64(v) => MEvent::F64(*v),
+            IrEvent::Str(s) => MEvent::Str(s.clone()),
+        })
+        .collect()
+}
+
+/// Invariant 1: interpreter output == compiled machine output, at O0 and O2,
+/// for all 14 benchmarks.
+#[test]
+fn all_benchmarks_compile_and_match_interpreter() {
+    for b in refine_benchmarks::all() {
+        let m = b.module();
+        refine_ir::verify::verify_module(&m).unwrap_or_else(|e| panic!("{}: {e}", b.name));
+        let golden = Interp::new(&m, 100_000_000)
+            .run()
+            .unwrap_or_else(|e| panic!("{} interp: {e}", b.name));
+        assert_eq!(golden.exit_code, 0, "{}", b.name);
+
+        for level in [OptLevel::O0, OptLevel::O2] {
+            let bin = refine_mir::compile(&m, level);
+            let r = Machine::run(&bin, &RunConfig::default(), &mut NoFi, None);
+            assert_eq!(
+                r.outcome,
+                RunOutcome::Exit(0),
+                "{} at {level:?}: {:?}",
+                b.name,
+                r.outcome
+            );
+            let expect = ir_events_to_machine(&golden.output);
+            assert_eq!(
+                format_events(&r.output),
+                format_events(&expect),
+                "{} output mismatch at {level:?}",
+                b.name
+            );
+        }
+    }
+}
+
+/// Optimization must actually pay: O2 binaries run fewer instructions than
+/// O0 binaries in aggregate and on (almost) every benchmark — call-dominated
+/// kernels (EP) can tie, since all FPRs are caller-saved as on x64 SysV.
+#[test]
+fn o2_faster_than_o0_everywhere() {
+    let (mut tot0, mut tot2) = (0u64, 0u64);
+    for b in refine_benchmarks::all() {
+        let m = b.module();
+        let r0 = Machine::run(
+            &refine_mir::compile(&m, OptLevel::O0),
+            &RunConfig::default(),
+            &mut NoFi,
+            None,
+        );
+        let r2 = Machine::run(
+            &refine_mir::compile(&m, OptLevel::O2),
+            &RunConfig::default(),
+            &mut NoFi,
+            None,
+        );
+        assert!(
+            r2.instrs_retired < r0.instrs_retired + r0.instrs_retired / 100,
+            "{}: O2 {} much worse than O0 {}",
+            b.name,
+            r2.instrs_retired,
+            r0.instrs_retired
+        );
+        tot0 += r0.instrs_retired;
+        tot2 += r2.instrs_retired;
+    }
+    assert!(
+        (tot2 as f64) < tot0 as f64 * 0.85,
+        "O2 must clearly pay in aggregate: {tot2} vs {tot0}"
+    );
+}
+
+/// Invariant 2: REFINE- and LLFI-instrumented binaries produce the golden
+/// output when no fault triggers (profiling mode), across the suite.
+#[test]
+fn instrumented_binaries_stay_golden_without_faults() {
+    for b in refine_benchmarks::all() {
+        let m = b.module();
+        let clean = compile_with_fi(&m, OptLevel::O2, &FiOptions::default());
+        let golden = Machine::run(&clean.binary, &RunConfig::default(), &mut NoFi, None);
+
+        let refined = compile_with_fi(&m, OptLevel::O2, &FiOptions::all());
+        let mut rt = ProfilingRt::default();
+        let r = Machine::run(&refined.binary, &RunConfig::default(), &mut rt, None);
+        assert_eq!(r.outcome, RunOutcome::Exit(0), "{} (REFINE)", b.name);
+        assert_eq!(
+            format_events(&r.output),
+            format_events(&golden.output),
+            "{} (REFINE) output",
+            b.name
+        );
+
+        let (llfid, _) = refine_llfi::compile_with_llfi(
+            &m,
+            OptLevel::O2,
+            &refine_llfi::LlfiOptions::default(),
+        );
+        let mut rt = ProfilingRt::default();
+        let r = Machine::run(&llfid.binary, &RunConfig::default(), &mut rt, None);
+        assert_eq!(r.outcome, RunOutcome::Exit(0), "{} (LLFI)", b.name);
+        assert_eq!(
+            format_events(&r.output),
+            format_events(&golden.output),
+            "{} (LLFI) output",
+            b.name
+        );
+    }
+}
+
+/// Invariant 3 at suite scale: REFINE's selInstr count equals PINFI's
+/// binary-level target count on every benchmark.
+#[test]
+fn populations_identical_across_suite() {
+    for b in refine_benchmarks::all() {
+        let m = b.module();
+        let clean = compile_with_fi(&m, OptLevel::O2, &FiOptions::default());
+        let mut pin = refine_pinfi::PinfiProfiler::default();
+        Machine::run(&clean.binary, &RunConfig::default(), &mut NoFi, Some(&mut pin));
+
+        let refined = compile_with_fi(&m, OptLevel::O2, &FiOptions::all());
+        let mut rt = ProfilingRt::default();
+        Machine::run(&refined.binary, &RunConfig::default(), &mut rt, None);
+        assert_eq!(rt.count, pin.count, "{}: population mismatch", b.name);
+    }
+}
