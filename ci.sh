@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Full local CI: release build, test suite, and lint-clean clippy.
+# All cargo invocations run --offline against the vendored workspace deps.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== cargo build --release"
+cargo build --release --offline
+
+echo "== cargo test"
+cargo test -q --offline
+
+echo "== cargo clippy (deny warnings)"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "CI OK"

@@ -72,9 +72,15 @@ pub fn all() -> Vec<BenchProgram> {
     ]
 }
 
-/// Look a benchmark up by its paper name.
+/// Extra demo programs reachable by name but not part of the paper's
+/// 14-app suite (so [`all`] keeps the paper's presentation exactly).
+pub fn extras() -> Vec<BenchProgram> {
+    vec![programs::matmul()]
+}
+
+/// Look a benchmark up by name, searching the paper suite and the extras.
 pub fn by_name(name: &str) -> Option<BenchProgram> {
-    all().into_iter().find(|b| b.name == name)
+    all().into_iter().chain(extras()).find(|b| b.name == name)
 }
 
 #[cfg(test)]
@@ -123,5 +129,19 @@ mod tests {
         assert!(by_name("HPCCG-1.0").is_some());
         assert!(by_name("UA").is_some());
         assert!(by_name("nope").is_none());
+    }
+
+    #[test]
+    fn extras_run_clean_but_stay_out_of_the_suite() {
+        for b in extras() {
+            assert!(all().iter().all(|s| s.name != b.name), "{} is suite-only", b.name);
+            assert!(by_name(b.name).is_some());
+            let r = Interp::new(&b.module(), 80_000_000)
+                .run()
+                .unwrap_or_else(|e| panic!("{} failed: {e}", b.name));
+            assert_eq!(r.exit_code, 0, "{} must exit 0", b.name);
+            assert!(r.output.len() >= 2);
+        }
+        assert_eq!(by_name("matmul").unwrap().name, "matmul");
     }
 }

@@ -1,41 +1,86 @@
 //! `refine-experiments` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! refine-experiments [fig4|table4|table5|table6|fig5|samples|all]
+//! refine-experiments [fig4|table4|table5|table6|fig5|samples|ablation|all]
 //!                    [--trials N] [--seed S] [--threads T] [--apps A,B,...]
+//!                    [--trace-out FILE] [--json] [--quiet]
+//! refine-experiments trace-summary FILE
 //! ```
 //!
 //! With no subcommand, `all` runs the full sweep (14 apps x 3 tools x
 //! `--trials` runs; the paper's configuration is `--trials 1068`, the
 //! default) and prints every artifact.
+//!
+//! Observability:
+//!
+//! * `--trace-out FILE` streams one JSON line of fault provenance per trial
+//!   (tool, seed, target, site, opcode, bit, outcome, trap cause);
+//! * `trace-summary FILE` aggregates such a file into an injection-site x
+//!   outcome table;
+//! * `--json` emits the suite results plus a metrics snapshot (latency and
+//!   instruction-count histograms, trap-cause breakdown, per-phase compile
+//!   times) as JSON on stdout instead of the text tables;
+//! * `--quiet` suppresses the live progress lines.
 
 use refine_campaign::campaign::CampaignConfig;
-use refine_campaign::experiments::{self, run_suite, SuiteResults};
+use refine_campaign::experiments::{self, run_suite_observed, SuiteObserver, SuiteResults};
 use refine_campaign::tools::{PreparedTool, Tool};
+use refine_telemetry::trace::{read_jsonl, TraceSummary};
+use refine_telemetry::TraceSink;
+use serde::Serialize;
 
 fn usage() -> ! {
     eprintln!(
         "usage: refine-experiments [fig4|table4|table5|table6|fig5|samples|ablation|all] \
-         [--trials N] [--seed S] [--threads T] [--apps A,B,...]"
+         [--trials N] [--seed S] [--threads T] [--apps A,B,...] \
+         [--trace-out FILE] [--json] [--quiet]\n\
+         \x20      refine-experiments trace-summary FILE"
     );
     std::process::exit(2);
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut cmd = "all".to_string();
+    let mut cmd: Option<String> = None;
     let mut cfg = CampaignConfig::default();
     let mut apps: Option<Vec<String>> = None;
+    let mut trace_out: Option<String> = None;
+    let mut summary_file: Option<String> = None;
+    let mut json = false;
+    let mut quiet = false;
 
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "fig4" | "table4" | "table5" | "table6" | "fig5" | "samples" | "ablation" | "all" => {
-                cmd = args[i].clone();
+                if let Some(prev) = &cmd {
+                    eprintln!(
+                        "refine-experiments: duplicate subcommand `{}` (already got `{prev}`)",
+                        args[i]
+                    );
+                    usage();
+                }
+                cmd = Some(args[i].clone());
+            }
+            "trace-summary" => {
+                if let Some(prev) = &cmd {
+                    eprintln!(
+                        "refine-experiments: duplicate subcommand `trace-summary` \
+                         (already got `{prev}`)"
+                    );
+                    usage();
+                }
+                cmd = Some("trace-summary".to_string());
+                i += 1;
+                summary_file = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
             }
             "--trials" => {
                 i += 1;
                 cfg.trials = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+                if cfg.trials == 0 {
+                    eprintln!("refine-experiments: --trials must be at least 1");
+                    usage();
+                }
             }
             "--seed" => {
                 i += 1;
@@ -59,6 +104,7 @@ fn main() {
                             "refine-experiments: unknown benchmark `{n}` (valid: {})",
                             refine_benchmarks::all()
                                 .iter()
+                                .chain(refine_benchmarks::extras().iter())
                                 .map(|b| b.name)
                                 .collect::<Vec<_>>()
                                 .join(", ")
@@ -68,10 +114,31 @@ fn main() {
                 }
                 apps = Some(names);
             }
+            "--trace-out" => {
+                i += 1;
+                trace_out = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
+            "--json" => json = true,
+            "--quiet" => quiet = true,
             _ => usage(),
         }
         i += 1;
     }
+    let cmd = cmd.unwrap_or_else(|| "all".to_string());
+
+    if cmd == "trace-summary" {
+        let file = summary_file.expect("trace-summary requires a file");
+        let records = read_jsonl(std::path::Path::new(&file)).unwrap_or_else(|e| {
+            eprintln!("refine-experiments: {e}");
+            std::process::exit(1);
+        });
+        print!("{}", TraceSummary::from_records(&records).render());
+        return;
+    }
+
+    // Campaigns feed the metrics registry (latency/instrs histograms,
+    // trap-cause breakdown, phase timings) from here on.
+    refine_telemetry::enable();
 
     if cmd == "ablation" {
         let apps = apps.unwrap_or_else(|| {
@@ -97,17 +164,37 @@ fn main() {
         return;
     }
 
-    eprintln!(
-        "running campaigns: trials={} seed={} threads={}",
-        cfg.trials,
-        cfg.seed,
-        if cfg.threads == 0 { "auto".to_string() } else { cfg.threads.to_string() }
-    );
-    let t0 = std::time::Instant::now();
-    let suite: SuiteResults = run_suite(&cfg, apps.as_deref(), |app, tool| {
-        eprintln!("  [{:>6.1}s] {app} / {}", t0.elapsed().as_secs_f64(), tool.name());
+    let sink = trace_out.as_ref().map(|path| {
+        TraceSink::to_file(std::path::Path::new(path)).unwrap_or_else(|e| {
+            eprintln!("refine-experiments: cannot open {path}: {e}");
+            std::process::exit(1);
+        })
     });
-    eprintln!("sweep done in {:.1}s\n", t0.elapsed().as_secs_f64());
+
+    if !quiet {
+        eprintln!(
+            "running campaigns: trials={} seed={} threads={}",
+            cfg.trials,
+            cfg.seed,
+            if cfg.threads == 0 { "auto".to_string() } else { cfg.threads.to_string() }
+        );
+    }
+    let obs = SuiteObserver { live_progress: !quiet, sink: sink.as_ref() };
+    let suite: SuiteResults = run_suite_observed(&cfg, apps.as_deref(), &obs, |_, _| {});
+    if let Some(sink) = &sink {
+        if let Err(e) = sink.flush() {
+            eprintln!("refine-experiments: trace flush failed: {e}");
+        }
+    }
+
+    if json {
+        let report = serde::Value::Map(vec![
+            ("suite".to_string(), suite.to_value()),
+            ("metrics".to_string(), refine_telemetry::registry().snapshot().to_value()),
+        ]);
+        println!("{}", serde::json::to_string_pretty(&report));
+        return;
+    }
 
     match cmd.as_str() {
         "fig4" => {

@@ -12,6 +12,7 @@
 //!   --profile                     run the FI profiling phase (population + golden)
 //!   --inject <target> [--seed N]  run one fault-injection trial and classify it
 //!   --stats                       print static/dynamic instruction statistics
+//!   --times                       print a per-phase compile-time table on stderr
 //! ```
 //!
 //! Examples:
@@ -32,7 +33,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: minicc <file.ml> [--emit ir|ir-opt|asm|sites] [--O0] \
          [--fi \"<flags>\"] [--llfi] [--run|--profile|--stats] \
-         [--inject <target>] [--seed N]"
+         [--inject <target>] [--seed N] [--times]"
     );
     std::process::exit(2);
 }
@@ -56,6 +57,7 @@ fn main() {
     let mut fi = FiOptions::default();
     let mut llfi = false;
     let mut seed = 42u64;
+    let mut times = false;
 
     let mut i = 0;
     while i < args.len() {
@@ -87,12 +89,16 @@ fn main() {
                 i += 1;
                 seed = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
             }
+            "--times" => times = true,
             other if !other.starts_with('-') && file.is_none() => file = Some(other.to_string()),
             _ => usage(),
         }
         i += 1;
     }
     let file = file.unwrap_or_else(|| usage());
+    if times {
+        refine_telemetry::enable();
+    }
     let source = std::fs::read_to_string(&file).unwrap_or_else(|e| {
         eprintln!("minicc: cannot read {file}: {e}");
         std::process::exit(1);
@@ -102,17 +108,34 @@ fn main() {
         std::process::exit(1);
     });
 
+    let print_times = |when: &str| {
+        if times {
+            eprintln!("minicc: phase times ({when})");
+            eprint!(
+                "{}",
+                refine_telemetry::span::render_phase_table(
+                    &refine_telemetry::Phase::snapshot_all()
+                )
+            );
+        }
+    };
+
     // --emit ir / ir-opt print and exit before backend work.
     if let Mode::Emit(what) = &mode {
         match what.as_str() {
             "ir" => {
                 print!("{}", refine_ir::printer::print_module(&module));
+                print_times("frontend only");
                 return;
             }
             "ir-opt" => {
                 let mut m = module.clone();
-                refine_ir::passes::optimize(&mut m, level);
+                {
+                    let _s = refine_telemetry::Span::enter(refine_telemetry::Phase::Optimize);
+                    refine_ir::passes::optimize(&mut m, level);
+                }
                 print!("{}", refine_ir::printer::print_module(&m));
+                print_times("frontend + optimizer");
                 return;
             }
             _ => {}
@@ -127,6 +150,7 @@ fn main() {
     } else {
         compile_with_fi(&module, level, &fi)
     };
+    print_times("full compile");
 
     match mode {
         Mode::Emit(what) => match what.as_str() {

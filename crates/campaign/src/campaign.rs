@@ -12,7 +12,10 @@ use crate::tools::{PreparedTool, Tool};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use refine_ir::Module;
+use refine_machine::RunOutcome;
+use refine_telemetry::{OutcomeKind, Progress, TraceSink, TrialTrace};
 use serde::{Deserialize, Serialize};
+use std::time::Instant;
 
 /// Outcome frequencies of a campaign (one row of the paper's Table 6).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -112,9 +115,41 @@ pub fn run_campaign(module: &Module, tool: Tool, cfg: &CampaignConfig) -> Campai
     run_campaign_prepared(&prepared, cfg)
 }
 
+/// Observer hooks for a campaign: all optional, shared across workers.
+/// Trial metrics additionally flow into [`refine_telemetry::registry`]
+/// whenever telemetry is enabled, hooks or not.
+#[derive(Default)]
+pub struct CampaignHooks<'a> {
+    /// Benchmark name stamped into trace records.
+    pub app: &'a str,
+    /// Per-trial provenance sink (`--trace-out`).
+    pub sink: Option<&'a TraceSink>,
+    /// Live progress reporter.
+    pub progress: Option<&'a Progress>,
+}
+
+fn outcome_kind(o: Outcome) -> OutcomeKind {
+    match o {
+        Outcome::Crash => OutcomeKind::Crash,
+        Outcome::Soc => OutcomeKind::Soc,
+        Outcome::Benign => OutcomeKind::Benign,
+    }
+}
+
 /// Run a campaign against an already-prepared tool (lets callers share the
 /// compile+profile work across experiments).
 pub fn run_campaign_prepared(prepared: &PreparedTool, cfg: &CampaignConfig) -> CampaignResult {
+    run_campaign_observed(prepared, cfg, &CampaignHooks::default())
+}
+
+/// [`run_campaign_prepared`] with observer hooks: per-trial provenance
+/// records, live progress, and (when telemetry is enabled) latency /
+/// instruction-count / trap-cause metrics.
+pub fn run_campaign_observed(
+    prepared: &PreparedTool,
+    cfg: &CampaignConfig,
+    hooks: &CampaignHooks<'_>,
+) -> CampaignResult {
     let threads = if cfg.threads == 0 {
         std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
     } else {
@@ -140,9 +175,52 @@ pub fn run_campaign_prepared(prepared: &PreparedTool, cfg: &CampaignConfig) -> C
                     let (s1, s2) = trial_stream(cfg.seed, prepared.tool, trial);
                     let mut rng = StdRng::seed_from_u64(s1);
                     let target = rng.gen_range(1..=prepared.population);
-                    let r = prepared.run_trial(target, s2);
-                    counts.add(classify(&prepared.golden, &r));
+                    // Skip the clock read unless someone consumes it.
+                    let t0 = refine_telemetry::enabled().then(Instant::now);
+                    let (r, log) = prepared.run_trial_traced(target, s2);
+                    let outcome = classify(&prepared.golden, &r);
+                    counts.add(outcome);
                     cycles += r.cycles;
+
+                    let trap = match r.outcome {
+                        RunOutcome::Trap(t) => Some(t.name()),
+                        RunOutcome::Timeout => Some("timeout"),
+                        RunOutcome::Exit(_) => None,
+                    };
+                    let kind = outcome_kind(outcome);
+                    if let Some(t0) = t0 {
+                        let ns = t0.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+                        refine_telemetry::registry()
+                            .record_trial(ns, r.instrs_retired, r.cycles, kind, trap);
+                    }
+                    if let Some(p) = hooks.progress {
+                        p.record(kind);
+                    }
+                    if let Some(sink) = hooks.sink {
+                        let rec = TrialTrace {
+                            app: hooks.app.to_string(),
+                            tool: prepared.tool.name().to_lowercase(),
+                            trial,
+                            seed: s2,
+                            target_dyn: target,
+                            site: log.map(|l| l.site),
+                            opcode: log.as_ref().and_then(|l| prepared.site_opcode(l)),
+                            operand: log.map(|l| l.operand as u64),
+                            bit: log.map(|l| l.bit as u64),
+                            outcome: match outcome {
+                                Outcome::Crash => "crash",
+                                Outcome::Soc => "soc",
+                                Outcome::Benign => "benign",
+                            }
+                            .to_string(),
+                            trap: trap.map(str::to_string),
+                            cycles: r.cycles,
+                            instrs: r.instrs_retired,
+                        };
+                        if let Err(e) = sink.write(&rec) {
+                            eprintln!("trace sink write failed: {e}");
+                        }
+                    }
                 }
                 (counts, cycles)
             }));

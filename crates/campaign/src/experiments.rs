@@ -1,14 +1,18 @@
 //! Reproduction drivers for every table and figure of the paper's
 //! evaluation (the per-experiment index of DESIGN.md).
 
-use crate::campaign::{run_campaign_prepared, CampaignConfig, CampaignResult};
+use crate::campaign::{
+    run_campaign_observed, run_campaign_prepared, CampaignConfig, CampaignHooks, CampaignResult,
+};
 use crate::tools::{PreparedTool, Tool};
 use refine_stats::ci::Z_95;
 use refine_stats::{chi2_contingency, proportion_ci, sample_size};
+use refine_telemetry::{Progress, TraceSink};
+use serde::{Deserialize, Serialize};
 use std::fmt::Write;
 
 /// Results of the three tools on one benchmark.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct AppResults {
     /// Benchmark name.
     pub name: String,
@@ -28,7 +32,7 @@ impl AppResults {
 }
 
 /// Results of the full 14-benchmark x 3-tool sweep.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SuiteResults {
     /// Per-app results in suite order.
     pub apps: Vec<AppResults>,
@@ -36,27 +40,54 @@ pub struct SuiteResults {
     pub trials: u64,
 }
 
+/// Observability options for a sweep.
+#[derive(Default)]
+pub struct SuiteObserver<'a> {
+    /// Print live per-campaign progress lines (trials/s, ETA, outcome
+    /// percentages) on stderr.
+    pub live_progress: bool,
+    /// Stream one [`refine_telemetry::TrialTrace`] per trial here.
+    pub sink: Option<&'a TraceSink>,
+}
+
 /// Run campaigns for `apps` (or the whole suite) with all three tools.
 /// `progress` is called before each (app, tool) campaign.
 pub fn run_suite(
     cfg: &CampaignConfig,
     apps: Option<&[String]>,
+    progress: impl FnMut(&str, Tool),
+) -> SuiteResults {
+    run_suite_observed(cfg, apps, &SuiteObserver::default(), progress)
+}
+
+/// [`run_suite`] with observability: live progress reporting and per-trial
+/// provenance streaming. Accepts any benchmark [`refine_benchmarks::by_name`]
+/// knows, including the extras outside the paper's 14-app suite.
+pub fn run_suite_observed(
+    cfg: &CampaignConfig,
+    apps: Option<&[String]>,
+    obs: &SuiteObserver<'_>,
     mut progress: impl FnMut(&str, Tool),
 ) -> SuiteResults {
-    let suite = refine_benchmarks::all();
-    if let Some(names) = apps {
-        for n in names {
-            assert!(
-                suite.iter().any(|b| b.name == n),
-                "unknown benchmark `{n}` (valid: {})",
-                suite.iter().map(|b| b.name).collect::<Vec<_>>().join(", ")
-            );
-        }
-    }
-    let selected: Vec<_> = suite
-        .into_iter()
-        .filter(|b| apps.map_or(true, |names| names.iter().any(|n| n == b.name)))
-        .collect();
+    let selected: Vec<_> = match apps {
+        Some(names) => names
+            .iter()
+            .map(|n| {
+                refine_benchmarks::by_name(n).unwrap_or_else(|| {
+                    panic!(
+                        "unknown benchmark `{n}` (valid: {})",
+                        refine_benchmarks::all()
+                            .iter()
+                            .chain(refine_benchmarks::extras().iter())
+                            .map(|b| b.name)
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    )
+                })
+            })
+            .collect(),
+        None => refine_benchmarks::all(),
+    };
     assert!(!selected.is_empty(), "no benchmarks selected");
     let mut out = Vec::with_capacity(selected.len());
     for b in selected {
@@ -65,7 +96,12 @@ pub fn run_suite(
         for tool in Tool::all() {
             progress(b.name, tool);
             let prepared = PreparedTool::prepare(&module, tool);
-            results.push(run_campaign_prepared(&prepared, cfg));
+            let live = Progress::new(cfg.trials, !obs.live_progress);
+            live.set_label(format!("{}/{}", b.name, tool.name()));
+            let hooks =
+                CampaignHooks { app: b.name, sink: obs.sink, progress: Some(&live) };
+            results.push(run_campaign_observed(&prepared, cfg, &hooks));
+            live.finish();
         }
         let mut it = results.into_iter();
         out.push(AppResults {
@@ -250,9 +286,13 @@ pub fn table6(suite: &SuiteResults) -> String {
     s
 }
 
+/// One Figure 5 row: app name, LLFI and REFINE campaign time normalized
+/// to PINFI.
+pub type Fig5Row = (String, f64, f64);
+
 /// Figure 5 data: per-app campaign execution time of LLFI and REFINE
 /// normalized to PINFI, plus the aggregate.
-pub fn fig5_rows(suite: &SuiteResults) -> (Vec<(String, f64, f64)>, (f64, f64)) {
+pub fn fig5_rows(suite: &SuiteResults) -> (Vec<Fig5Row>, (f64, f64)) {
     let mut rows = Vec::new();
     let (mut tot_l, mut tot_r, mut tot_p) = (0u128, 0u128, 0u128);
     for app in &suite.apps {

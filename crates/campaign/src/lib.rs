@@ -21,7 +21,10 @@ pub mod experiments;
 pub mod propagation;
 pub mod tools;
 
-pub use campaign::{run_campaign, CampaignConfig, CampaignResult, OutcomeCounts};
+pub use campaign::{
+    run_campaign, run_campaign_observed, run_campaign_prepared, CampaignConfig, CampaignHooks,
+    CampaignResult, OutcomeCounts,
+};
 pub use classify::{classify, format_events, Golden, Outcome};
 pub use propagation::{trace_fault, PropagationReport, PropagationStats};
 pub use tools::{PreparedTool, Tool};

@@ -169,7 +169,7 @@ pub fn trace_fault(
     let dn = gd.len().min(fd_detail.len());
     for i in 0..dn {
         let step = detail_base + i as u64;
-        if control_flow_divergence.map_or(false, |c| step >= c) {
+        if control_flow_divergence.is_some_and(|c| step >= c) {
             break;
         }
         let (gr_, gf, gfl) = &gd[i];
@@ -233,7 +233,7 @@ mod tests {
     use super::*;
 
     fn prepared() -> PreparedTool {
-        let m = refine_frontend::compile_source(
+        refine_frontend::compile_source(
             "fvar w[16];\n\
              fn main() {\n\
                for (i = 0; i < 16; i = i + 1) { w[i] = float(i) * 0.75 + 1.0; }\n\
@@ -244,8 +244,7 @@ mod tests {
              }",
         )
         .map(|m| PreparedTool::prepare(&m, Tool::Pinfi))
-        .unwrap();
-        m
+        .unwrap()
     }
 
     #[test]

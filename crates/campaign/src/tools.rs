@@ -1,11 +1,13 @@
 //! A uniform interface over the three fault injectors.
 
 use crate::classify::Golden;
-use refine_core::{FiOptions, InjectingRt, ProfilingRt};
+use refine_core::{FaultRecord, FiOptions, InjectingRt, ProfilingRt};
 use refine_ir::passes::OptLevel;
 use refine_ir::Module;
 use refine_machine::{Binary, Machine, NoFi, RunConfig, RunResult};
 use refine_pinfi::{PinfiInjector, PinfiProfiler};
+use refine_telemetry::{Phase, Span};
+use std::collections::HashMap;
 
 /// The three tools compared in the paper.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -53,6 +55,16 @@ pub struct PreparedTool {
     pub timeout_cycles: u64,
     /// Stack size for runs.
     pub stack_words: usize,
+    /// Static-site id -> opcode label, for per-trial fault provenance
+    /// (REFINE: backend-pass site table; LLFI: IR site table; PINFI has no
+    /// site table — its opcodes resolve from the binary text at the
+    /// faulting pc, see [`PreparedTool::site_opcode`]).
+    pub site_opcodes: HashMap<u64, String>,
+}
+
+/// First token of a disassembly line (`"add r1, r2, r3"` -> `"add"`).
+fn asm_mnemonic(asm: &str) -> String {
+    asm.split_whitespace().next().unwrap_or("?").to_string()
 }
 
 impl PreparedTool {
@@ -60,28 +72,32 @@ impl PreparedTool {
     pub fn prepare(module: &Module, tool: Tool) -> PreparedTool {
         let stack_words = 1 << 16;
         let cfg = RunConfig { max_cycles: u64::MAX / 4, stack_words };
-        let (binary, population, profile) = match tool {
+        let (binary, population, profile, site_opcodes) = match tool {
             Tool::Refine => {
                 let c = refine_core::compile_with_fi(module, OptLevel::O2, &FiOptions::all());
+                let opcodes =
+                    c.sites.iter().map(|s| (s.id, asm_mnemonic(&s.asm))).collect();
                 let mut rt = ProfilingRt::default();
                 let r = Machine::run(&c.binary, &cfg, &mut rt, None);
-                (c.binary, rt.count, r)
+                (c.binary, rt.count, r, opcodes)
             }
             Tool::Llfi => {
-                let (c, _sites) = refine_llfi::compile_with_llfi(
+                let (c, sites) = refine_llfi::compile_with_llfi(
                     module,
                     OptLevel::O2,
                     &refine_llfi::LlfiOptions::default(),
                 );
+                let opcodes = sites.iter().map(|s| (s.id, s.opcode.clone())).collect();
                 let mut rt = ProfilingRt::default();
                 let r = Machine::run(&c.binary, &cfg, &mut rt, None);
-                (c.binary, rt.count, r)
+                (c.binary, rt.count, r, opcodes)
             }
             Tool::Pinfi => {
                 let c = refine_core::compile_with_fi(module, OptLevel::O2, &FiOptions::default());
+                let _s = Span::enter(Phase::FiPinfiProbe);
                 let mut probe = PinfiProfiler::default();
                 let r = Machine::run(&c.binary, &cfg, &mut NoFi, Some(&mut probe));
-                (c.binary, probe.count, r)
+                (c.binary, probe.count, r, HashMap::new())
             }
         };
         assert!(population > 0, "{}: empty FI population", tool.name());
@@ -94,6 +110,7 @@ impl PreparedTool {
             profile_cycles: profile.cycles,
             timeout_cycles: profile.cycles.saturating_mul(10),
             stack_words,
+            site_opcodes,
         }
     }
 
@@ -104,6 +121,7 @@ impl PreparedTool {
         let stack_words = 1 << 16;
         let cfg = RunConfig { max_cycles: u64::MAX / 4, stack_words };
         let c = refine_core::compile_with_fi(module, OptLevel::O2, opts);
+        let site_opcodes = c.sites.iter().map(|s| (s.id, asm_mnemonic(&s.asm))).collect();
         let mut rt = ProfilingRt::default();
         let r = Machine::run(&c.binary, &cfg, &mut rt, None);
         assert!(rt.count > 0, "selected FI population is empty");
@@ -116,22 +134,45 @@ impl PreparedTool {
             profile_cycles: r.cycles,
             timeout_cycles: r.cycles.saturating_mul(10),
             stack_words,
+            site_opcodes,
         }
     }
 
     /// Execute one fault-injection trial at dynamic target instruction
     /// `target` (1-based) with RNG stream `seed`.
     pub fn run_trial(&self, target: u64, seed: u64) -> RunResult {
+        self.run_trial_traced(target, seed).0
+    }
+
+    /// Like [`PreparedTool::run_trial`], but also returns the fault log
+    /// entry (when the injection fired) for provenance records.
+    pub fn run_trial_traced(&self, target: u64, seed: u64) -> (RunResult, Option<FaultRecord>) {
         let cfg = RunConfig { max_cycles: self.timeout_cycles, stack_words: self.stack_words };
         match self.tool {
             Tool::Refine | Tool::Llfi => {
                 let mut rt = InjectingRt::new(target, seed);
-                Machine::run(&self.binary, &cfg, &mut rt, None)
+                let r = Machine::run(&self.binary, &cfg, &mut rt, None);
+                (r, rt.log)
             }
             Tool::Pinfi => {
                 let mut probe = PinfiInjector::new(target, seed);
-                Machine::run(&self.binary, &cfg, &mut NoFi, Some(&mut probe))
+                let r = Machine::run(&self.binary, &cfg, &mut NoFi, Some(&mut probe));
+                (r, probe.log)
             }
+        }
+    }
+
+    /// Opcode label of a fired fault's injection site (None when the site
+    /// is unknown, which does not happen for faults this tool produced).
+    pub fn site_opcode(&self, record: &FaultRecord) -> Option<String> {
+        match self.tool {
+            // PINFI logs the faulting pc; the opcode comes from the text.
+            Tool::Pinfi => self
+                .binary
+                .text
+                .get(record.site as usize)
+                .map(|i| i.mnemonic()),
+            Tool::Refine | Tool::Llfi => self.site_opcodes.get(&record.site).cloned(),
         }
     }
 }

@@ -24,14 +24,19 @@ pub struct Compiled {
 
 /// Compile `m` at `level` with the given FI options.
 pub fn compile_with_fi(m: &Module, level: OptLevel, opts: &FiOptions) -> Compiled {
+    use refine_telemetry::{Phase, Span};
     let mut m = m.clone();
-    refine_ir::passes::optimize(&mut m, level);
+    {
+        let _s = Span::enter(Phase::Optimize);
+        refine_ir::passes::optimize(&mut m, level);
+    }
     let mut mm = refine_mir::lower_module(&m);
     // Reserve the global save area at the end of the data segment.
     let save_base = refine_ir::interp::GLOBAL_BASE + mm.globals.len() as u64 * 8;
     let mut sites = Vec::new();
     if opts.fi {
-        mm.globals.extend(std::iter::repeat(0u64).take(SAVE_AREA_WORDS as usize));
+        let _s = Span::enter(Phase::FiRefinePass);
+        mm.globals.extend(std::iter::repeat_n(0u64, SAVE_AREA_WORDS as usize));
         let mut next_site = 0;
         sites = pass::run(&mut mm.funcs, opts, save_base, &mut next_site);
     }

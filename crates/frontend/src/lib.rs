@@ -80,8 +80,16 @@ impl std::error::Error for FrontError {}
 
 /// Compile MiniLang source to a verified IR module.
 pub fn compile_source(src: &str) -> Result<refine_ir::Module, FrontError> {
-    let tokens = lex(src)?;
-    let prog = parse(&tokens)?;
+    use refine_telemetry::{Phase, Span};
+    let tokens = {
+        let _s = Span::enter(Phase::Lex);
+        lex(src)?
+    };
+    let prog = {
+        let _s = Span::enter(Phase::Parse);
+        parse(&tokens)?
+    };
+    let _s = Span::enter(Phase::LowerIr);
     let module = lower_program(&prog)?;
     refine_ir::verify::verify_module(&module).map_err(|e| FrontError {
         line: 0,

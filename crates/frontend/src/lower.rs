@@ -161,7 +161,7 @@ impl<'a> FnLowerer<'a> {
                     Some(TypeAnn::Int) => false,
                     None => ty == ETy::F,
                 };
-                let v = if want_float { self.to_f(v, ty) } else { self.to_i(v, ty) };
+                let v = if want_float { self.coerce_f(v, ty) } else { self.coerce_i(v, ty) };
                 let _ = line;
                 let ptr = self.declare_scalar(name, want_float);
                 self.b.store(ptr, v, if want_float { Ty::F64 } else { Ty::I64 });
@@ -182,7 +182,7 @@ impl<'a> FnLowerer<'a> {
                     None => {
                         // Implicit int declaration, used by for-loop headers.
                         let (v, ty) = self.lower_expr(e)?;
-                        let v = self.to_i(v, ty);
+                        let v = self.coerce_i(v, ty);
                         let ptr = self.declare_scalar(name, false);
                         self.b.store(ptr, v, Ty::I64);
                         return Ok(());
@@ -191,7 +191,7 @@ impl<'a> FnLowerer<'a> {
                 match info {
                     VarInfo::Scalar { ptr, is_float } => {
                         let (v, ty) = self.lower_expr(e)?;
-                        let v = if is_float { self.to_f(v, ty) } else { self.to_i(v, ty) };
+                        let v = if is_float { self.coerce_f(v, ty) } else { self.coerce_i(v, ty) };
                         self.b.store(ptr, v, if is_float { Ty::F64 } else { Ty::I64 });
                     }
                     VarInfo::Array { .. } => {
@@ -207,10 +207,10 @@ impl<'a> FnLowerer<'a> {
                     return self.err(*line, format!("`{name}` is not an array"));
                 };
                 let (iv, ity) = self.lower_expr(idx)?;
-                let iv = self.to_i(iv, ity);
+                let iv = self.coerce_i(iv, ity);
                 let addr = self.b.elem(ptr, iv);
                 let (v, ty) = self.lower_expr(e)?;
-                let v = if is_float { self.to_f(v, ty) } else { self.to_i(v, ty) };
+                let v = if is_float { self.coerce_f(v, ty) } else { self.coerce_i(v, ty) };
                 self.b.store(addr, v, if is_float { Ty::F64 } else { Ty::I64 });
             }
             Stmt::If(c, then, els, _line) => {
@@ -281,9 +281,9 @@ impl<'a> FnLowerer<'a> {
                     Some(e) => {
                         let (v, ty) = self.lower_expr(e)?;
                         if want_float {
-                            self.to_f(v, ty)
+                            self.coerce_f(v, ty)
                         } else {
-                            self.to_i(v, ty)
+                            self.coerce_i(v, ty)
                         }
                     }
                     None => {
@@ -317,7 +317,7 @@ impl<'a> FnLowerer<'a> {
         })
     }
 
-    fn to_i(&mut self, v: Operand, ty: ETy) -> Operand {
+    fn coerce_i(&mut self, v: Operand, ty: ETy) -> Operand {
         match ty {
             ETy::I => v,
             ETy::B => self.b.cast(CastOp::I1ToI64, v),
@@ -325,7 +325,7 @@ impl<'a> FnLowerer<'a> {
         }
     }
 
-    fn to_f(&mut self, v: Operand, ty: ETy) -> Operand {
+    fn coerce_f(&mut self, v: Operand, ty: ETy) -> Operand {
         match ty {
             ETy::F => v,
             ETy::I => self.b.cast(CastOp::SiToF, v),
@@ -360,7 +360,7 @@ impl<'a> FnLowerer<'a> {
                     return self.err(*line, format!("`{name}` is not an array"));
                 };
                 let (iv, ity) = self.lower_expr(idx)?;
-                let iv = self.to_i(iv, ity);
+                let iv = self.coerce_i(iv, ity);
                 let addr = self.b.elem(ptr, iv);
                 let ty = if is_float { Ty::F64 } else { Ty::I64 };
                 (self.b.load(addr, ty), if is_float { ETy::F } else { ETy::I })
@@ -370,7 +370,7 @@ impl<'a> FnLowerer<'a> {
                 match ty {
                     ETy::F => (self.b.fbin(FBinOp::Sub, Operand::ConstF(0.0), v), ETy::F),
                     _ => {
-                        let vi = self.to_i(v, ty);
+                        let vi = self.coerce_i(v, ty);
                         (self.b.ibin(IBinOp::Sub, Operand::ConstI(0), vi), ETy::I)
                     }
                 }
@@ -410,12 +410,12 @@ impl<'a> FnLowerer<'a> {
         let float = lt == ETy::F || rt == ETy::F;
         if op.is_cmp() {
             return Ok(if float {
-                let lf = self.to_f(lv, lt);
-                let rf = self.to_f(rv, rt);
+                let lf = self.coerce_f(lv, lt);
+                let rf = self.coerce_f(rv, rt);
                 (self.b.fcmp(fpred(op), lf, rf), ETy::B)
             } else {
-                let li = self.to_i(lv, lt);
-                let ri = self.to_i(rv, rt);
+                let li = self.coerce_i(lv, lt);
+                let ri = self.coerce_i(rv, rt);
                 (self.b.icmp(ipred(op), li, ri), ETy::B)
             });
         }
@@ -428,8 +428,8 @@ impl<'a> FnLowerer<'a> {
                 BinOp::Div => FBinOp::Div,
                 _ => return self.err(line, format!("operator {op:?} requires integer operands")),
             };
-            let lf = self.to_f(lv, lt);
-            let rf = self.to_f(rv, rt);
+            let lf = self.coerce_f(lv, lt);
+            let rf = self.coerce_f(rv, rt);
             return Ok((self.b.fbin(fop, lf, rf), ETy::F));
         }
 
@@ -446,8 +446,8 @@ impl<'a> FnLowerer<'a> {
             BinOp::Shr => IBinOp::AShr,
             _ => unreachable!(),
         };
-        let li = self.to_i(lv, lt);
-        let ri = self.to_i(rv, rt);
+        let li = self.coerce_i(lv, lt);
+        let ri = self.coerce_i(rv, rt);
         Ok((self.b.ibin(iop, li, ri), ETy::I))
     }
 
@@ -476,7 +476,7 @@ impl<'a> FnLowerer<'a> {
                 return self.err(line, format!("{name} takes one argument"));
             }
             let (v, t) = self.lower_expr(&args[0])?;
-            let vf = self.to_f(v, t);
+            let vf = self.coerce_f(v, t);
             return Ok((self.b.intrinsic(which, vec![vf]).unwrap(), ETy::F));
         }
         let builtin2: Option<Intrinsic> = match name {
@@ -490,9 +490,9 @@ impl<'a> FnLowerer<'a> {
                 return self.err(line, format!("{name} takes two arguments"));
             }
             let (a, at) = self.lower_expr(&args[0])?;
-            let af = self.to_f(a, at);
+            let af = self.coerce_f(a, at);
             let (b2, bt) = self.lower_expr(&args[1])?;
-            let bf = self.to_f(b2, bt);
+            let bf = self.coerce_f(b2, bt);
             return Ok((self.b.intrinsic(which, vec![af, bf]).unwrap(), ETy::F));
         }
         match name {
@@ -501,21 +501,21 @@ impl<'a> FnLowerer<'a> {
                     return self.err(line, "int() takes one argument");
                 }
                 let (v, t) = self.lower_expr(&args[0])?;
-                return Ok((self.to_i(v, t), ETy::I));
+                return Ok((self.coerce_i(v, t), ETy::I));
             }
             "float" => {
                 if args.len() != 1 {
                     return self.err(line, "float() takes one argument");
                 }
                 let (v, t) = self.lower_expr(&args[0])?;
-                return Ok((self.to_f(v, t), ETy::F));
+                return Ok((self.coerce_f(v, t), ETy::F));
             }
             "print_i" => {
                 if args.len() != 1 {
                     return self.err(line, "print_i() takes one argument");
                 }
                 let (v, t) = self.lower_expr(&args[0])?;
-                let vi = self.to_i(v, t);
+                let vi = self.coerce_i(v, t);
                 self.b.intrinsic(Intrinsic::PrintI64, vec![vi]);
                 return Ok((Operand::ConstI(0), ETy::I));
             }
@@ -524,7 +524,7 @@ impl<'a> FnLowerer<'a> {
                     return self.err(line, "print_f() takes one argument");
                 }
                 let (v, t) = self.lower_expr(&args[0])?;
-                let vf = self.to_f(v, t);
+                let vf = self.coerce_f(v, t);
                 self.b.intrinsic(Intrinsic::PrintF64, vec![vf]);
                 return Ok((Operand::ConstI(0), ETy::I));
             }
@@ -546,8 +546,8 @@ impl<'a> FnLowerer<'a> {
         for (a, pt) in args.iter().zip(&ptys) {
             let (v, t) = self.lower_expr(a)?;
             avs.push(match pt {
-                TypeAnn::Float => self.to_f(v, t),
-                TypeAnn::Int => self.to_i(v, t),
+                TypeAnn::Float => self.coerce_f(v, t),
+                TypeAnn::Int => self.coerce_i(v, t),
             });
         }
         let ret = self.b.call(fid, avs, Some(ir_ty(rty))).unwrap();

@@ -83,7 +83,7 @@ impl<'m> Interp<'m> {
         for g in &module.globals {
             match &g.init {
                 crate::module::GlobalInit::Zero(n) => {
-                    globals.extend(std::iter::repeat(0u64).take(*n as usize))
+                    globals.extend(std::iter::repeat_n(0u64, *n as usize))
                 }
                 crate::module::GlobalInit::I64s(v) => {
                     globals.extend(v.iter().map(|x| *x as u64))
@@ -129,7 +129,7 @@ impl<'m> Interp<'m> {
     }
 
     fn load_word(&self, addr: u64) -> IrResult<u64> {
-        if addr % 8 != 0 {
+        if !addr.is_multiple_of(8) {
             return Self::trap(format!("misaligned load at {addr:#x}"));
         }
         let w = addr / 8;
@@ -146,7 +146,7 @@ impl<'m> Interp<'m> {
     }
 
     fn store_word(&mut self, addr: u64, val: u64) -> IrResult<()> {
-        if addr % 8 != 0 {
+        if !addr.is_multiple_of(8) {
             return Self::trap(format!("misaligned store at {addr:#x}"));
         }
         let w = addr / 8;
@@ -179,7 +179,7 @@ impl<'m> Interp<'m> {
         r
     }
 
-    fn operand(&self, f: &Function, env: &[Option<Val>], op: &Operand) -> IrResult<Val> {
+    fn operand(&self, _f: &Function, env: &[Option<Val>], op: &Operand) -> IrResult<Val> {
         match op {
             Operand::Value(v) => env[v.index()]
                 .ok_or_else(|| IrError::Trap(format!("read of unset value %{}", v.0))),
@@ -187,11 +187,6 @@ impl<'m> Interp<'m> {
             Operand::ConstF(c) => Ok(Val::F(*c)),
             Operand::Global(g) => Ok(Val::I(Self::global_addr(self.module, *g) as i64)),
         }
-        .map(|v| {
-            // Normalize: values read through a typed context keep their repr.
-            let _ = f;
-            v
-        })
     }
 
     fn exec_function(&mut self, f: &Function, env: &mut [Option<Val>]) -> IrResult<Option<Val>> {
@@ -271,7 +266,7 @@ impl<'m> Interp<'m> {
         Ok(match instr {
             Instr::Alloca { words } => {
                 let addr = STACK_BASE + self.stack.len() as u64 * 8;
-                self.stack.extend(std::iter::repeat(0u64).take(*words as usize));
+                self.stack.extend(std::iter::repeat_n(0u64, *words as usize));
                 Some(Val::I(addr as i64))
             }
             Instr::Load { addr, ty } => {

@@ -87,7 +87,7 @@ pub fn run(f: &mut Function) -> bool {
         .collect();
     for b in &mut f.blocks {
         b.instrs
-            .retain(|id| !(id.instr.is_pure() && id.result.map_or(false, |v| folded.contains(&v))));
+            .retain(|id| !(id.instr.is_pure() && id.result.is_some_and(|v| folded.contains(&v))));
         if let Some(t) = &mut b.term {
             t.for_each_operand_mut(&mut |op| *op = subst.resolve(*op));
         }
@@ -117,7 +117,7 @@ fn fold_float_identity(op: crate::instr::FBinOp, a: Operand, b: Operand) -> Opti
     use crate::instr::FBinOp::*;
     match (op, a, b) {
         (Mul, x, Operand::ConstF(c)) | (Mul, Operand::ConstF(c), x) if c == 1.0 => Some(x),
-        (Div, x, Operand::ConstF(c)) if c == 1.0 => Some(x),
+        (Div, x, Operand::ConstF(1.0)) => Some(x),
         _ => None,
     }
 }

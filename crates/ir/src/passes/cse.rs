@@ -42,8 +42,8 @@ pub fn run(f: &mut Function) -> bool {
     for b in &mut f.blocks {
         b.instrs.retain(|id| match id.result {
             Some(v) => {
-                !(id.instr.is_pure()
-                    && !matches!(subst.resolve(Operand::Value(v)), Operand::Value(x) if x == v))
+                !id.instr.is_pure()
+                    || matches!(subst.resolve(Operand::Value(v)), Operand::Value(x) if x == v)
             }
             None => true,
         });

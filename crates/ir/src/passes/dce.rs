@@ -17,7 +17,7 @@ pub fn run(f: &mut Function, rets: &[Option<Ty>]) -> bool {
             let before = b.instrs.len();
             b.instrs.retain(|id| {
                 let dead = id.instr.is_pure()
-                    && id.result.map_or(true, |v| counts[v.index()] == 0);
+                    && id.result.is_none_or(|v| counts[v.index()] == 0);
                 !dead
             });
             if b.instrs.len() != before {
@@ -32,7 +32,7 @@ pub fn run(f: &mut Function, rets: &[Option<Ty>]) -> bool {
             let before = b.instrs.len();
             b.instrs.retain(|id| {
                 let dead = matches!(id.instr, crate::instr::Instr::Alloca { .. })
-                    && id.result.map_or(true, |v| counts[v.index()] == 0);
+                    && id.result.is_none_or(|v| counts[v.index()] == 0);
                 !dead
             });
             if b.instrs.len() != before {

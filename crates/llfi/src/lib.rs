@@ -52,6 +52,25 @@ pub struct LlfiSite {
     pub func: String,
     /// Flip width in bits (1 for `i1`, 64 otherwise).
     pub bits: u32,
+    /// IR opcode of the instrumented instruction (trace provenance).
+    pub opcode: String,
+}
+
+/// Short IR opcode label for an instrumented instruction.
+fn ir_opcode(i: &Instr) -> String {
+    match i {
+        Instr::IBin { op, .. } => format!("{op:?}").to_lowercase(),
+        Instr::FBin { op, .. } => format!("f{op:?}").to_lowercase(),
+        Instr::ICmp { .. } => "icmp".to_string(),
+        Instr::FCmp { .. } => "fcmp".to_string(),
+        Instr::Select { .. } => "select".to_string(),
+        Instr::Cast { .. } => "cast".to_string(),
+        Instr::Load { .. } => "load".to_string(),
+        Instr::PtrAdd { .. } => "ptradd".to_string(),
+        Instr::Call { .. } => "call".to_string(),
+        Instr::IntrinsicCall { .. } => "intrinsic".to_string(),
+        _ => "other".to_string(),
+    }
 }
 
 fn instrumentable(i: &Instr, class: LlfiClass) -> bool {
@@ -78,6 +97,7 @@ fn instrumentable(i: &Instr, class: LlfiClass) -> bool {
 
 /// Instrument `m` in place (post-optimization IR). Returns site metadata.
 pub fn instrument(m: &mut Module, opts: &LlfiOptions) -> Vec<LlfiSite> {
+    let _span = refine_telemetry::Span::enter(refine_telemetry::Phase::FiLlfiPass);
     let mut sites = Vec::new();
     let mut next_id = 0u64;
     for f in &mut m.funcs {
@@ -89,15 +109,15 @@ pub fn instrument(m: &mut Module, opts: &LlfiOptions) -> Vec<LlfiSite> {
             let mut replaced: Vec<(ValueId, ValueId)> = Vec::new();
             for id in old {
                 let inject = match (id.result, instrumentable(&id.instr, opts.class)) {
-                    (Some(res), true) => Some((res, f.ty_of(res))),
+                    (Some(res), true) => Some((res, f.ty_of(res), ir_opcode(&id.instr))),
                     _ => None,
                 };
                 neu.push(id);
-                if let Some((res, ty)) = inject {
+                if let Some((res, ty, opcode)) = inject {
                     let new_val = f.new_value(f.ty_of(res));
                     let site = next_id;
                     next_id += 1;
-                    sites.push(LlfiSite { id: site, func: fname.clone(), bits: ty.bits() });
+                    sites.push(LlfiSite { id: site, func: fname.clone(), bits: ty.bits(), opcode });
                     neu.push(refine_ir::module::InstrData {
                         instr: Instr::LlfiInject { site, val: Operand::Value(res), ty },
                         result: Some(new_val),

@@ -45,7 +45,7 @@ impl Binary {
 
     /// Rebuild a text section from raw words.
     pub fn decode_text(words: &[u64]) -> Result<Vec<MInstr>, DecodeError> {
-        if words.len() % 2 != 0 {
+        if !words.len().is_multiple_of(2) {
             return Err(DecodeError("odd word count".into()));
         }
         words

@@ -486,6 +486,13 @@ impl MInstr {
         ) && !self.is_stack_class()
     }
 
+    /// The bare opcode mnemonic (the first token of [`MInstr::asm`]),
+    /// used to label injection sites in per-trial trace records.
+    pub fn mnemonic(&self) -> String {
+        let asm = self.asm();
+        asm.split_whitespace().next().unwrap_or("?").to_string()
+    }
+
     /// Short mnemonic + operands for disassembly listings.
     pub fn asm(&self) -> String {
         fn g(i: u8) -> String {

@@ -28,6 +28,20 @@ pub enum Trap {
     IllegalInstr,
 }
 
+impl Trap {
+    /// Short stable cause label for trap-cause breakdowns (telemetry,
+    /// trace records).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Trap::Segfault(_) => "segfault",
+            Trap::Misaligned(_) => "misaligned",
+            Trap::DivFault => "div-fault",
+            Trap::BadPc(_) => "bad-pc",
+            Trap::IllegalInstr => "illegal-instr",
+        }
+    }
+}
+
 impl std::fmt::Display for Trap {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
@@ -271,7 +285,7 @@ impl<'a> Machine<'a> {
     }
 
     fn mem_read(&self, addr: u64) -> Result<u64, Trap> {
-        if addr % 8 != 0 {
+        if !addr.is_multiple_of(8) {
             return Err(Trap::Misaligned(addr));
         }
         if addr >= GLOBAL_BASE {
@@ -287,7 +301,7 @@ impl<'a> Machine<'a> {
     }
 
     fn mem_write(&mut self, addr: u64, val: u64) -> Result<(), Trap> {
-        if addr % 8 != 0 {
+        if !addr.is_multiple_of(8) {
             return Err(Trap::Misaligned(addr));
         }
         if addr >= GLOBAL_BASE {

@@ -10,7 +10,7 @@ pub fn build_data(m: &Module) -> Vec<u64> {
     let mut data = Vec::new();
     for g in &m.globals {
         match &g.init {
-            refine_ir::GlobalInit::Zero(n) => data.extend(std::iter::repeat(0u64).take(*n as usize)),
+            refine_ir::GlobalInit::Zero(n) => data.extend(std::iter::repeat_n(0u64, *n as usize)),
             refine_ir::GlobalInit::I64s(v) => data.extend(v.iter().map(|x| *x as u64)),
             refine_ir::GlobalInit::F64s(v) => data.extend(v.iter().map(|x| x.to_bits())),
         }
@@ -23,6 +23,7 @@ pub fn build_data(m: &Module) -> Vec<u64> {
 /// A two-instruction startup shim (`call main; halt`) is placed at the
 /// entry, so `main`'s return value becomes the process exit code.
 pub fn emit(mm: &MModule) -> Binary {
+    let _span = refine_telemetry::Span::enter(refine_telemetry::Phase::Emit);
     let main_idx = mm
         .func_index("main")
         .expect("program must define main") as usize;

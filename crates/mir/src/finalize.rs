@@ -423,10 +423,10 @@ impl<'a> Finalizer<'a> {
                     let m = self.mem(mem, code);
                     // The value can take whichever scratch the address did
                     // not use.
-                    let which = if mem_spills == 1 && mem.base.map_or(false, |b| matches!(self.alloc.loc(b), Loc::Slot(_))) {
+                    let which = if mem_spills == 1
+                        && mem.base.is_some_and(|b| matches!(self.alloc.loc(b), Loc::Slot(_)))
+                    {
                         1
-                    } else if mem_spills >= 1 {
-                        0
                     } else {
                         0
                     };

@@ -4,9 +4,9 @@
 //! way a production backend does them:
 //!
 //! * **addressing-mode folding** — `getelementptr`-style [`refine_ir::Instr::PtrAdd`]
-//!   chains whose only consumers are loads/stores become `[base + idx*scale
-//!   + disp]` operands and never exist as instructions (so IR-level FI
-//!   cannot target them, while backend/binary FI can);
+//!   chains whose only consumers are loads/stores become
+//!   `[base + idx*scale + disp]` operands and never exist as instructions
+//!   (so IR-level FI cannot target them, while backend/binary FI can);
 //! * **compare + branch fusion** — an `icmp`/`fcmp` whose single use is the
 //!   same block's conditional branch emits `cmp` + `jcc` with no
 //!   materialized boolean (the `vucomisd`/`seta` split of the paper's

@@ -39,6 +39,7 @@ pub use emit::emit;
 pub use mfunc::{MBlock, MFunction, MModule};
 
 use refine_ir::Module;
+use refine_telemetry::{Phase, Span};
 
 /// Compile an (already optimized) IR module to a machine module of final
 /// basic blocks, ready for backend FI passes and emission.
@@ -49,9 +50,16 @@ pub fn lower_module(m: &Module) -> MModule {
     }
     let mut funcs = Vec::with_capacity(ir.funcs.len());
     for f in &ir.funcs {
-        let mut v = isel::lower_function(&ir, f);
-        let (intervals, call_sites) = liveness::analyze(&v);
-        let alloc = regalloc::allocate(&v, &intervals, &call_sites);
+        let mut v = {
+            let _s = Span::enter(Phase::Isel);
+            isel::lower_function(&ir, f)
+        };
+        let alloc = {
+            let _s = Span::enter(Phase::Regalloc);
+            let (intervals, call_sites) = liveness::analyze(&v);
+            regalloc::allocate(&v, &intervals, &call_sites)
+        };
+        let _s = Span::enter(Phase::Finalize);
         let mut mf = finalize::finalize(&mut v, &alloc);
         peephole::run(&mut mf);
         funcs.push(mf);
@@ -67,7 +75,10 @@ pub fn lower_module(m: &Module) -> MModule {
 /// Convenience: optimize + lower + emit a binary in one call.
 pub fn compile(m: &Module, level: refine_ir::passes::OptLevel) -> refine_machine::Binary {
     let mut m = m.clone();
-    refine_ir::passes::optimize(&mut m, level);
+    {
+        let _s = Span::enter(Phase::Optimize);
+        refine_ir::passes::optimize(&mut m, level);
+    }
     let mm = lower_module(&m);
     emit::emit(&mm)
 }

@@ -86,8 +86,7 @@ pub fn analyze(f: &VFunc) -> (Vec<Interval>, Vec<u32>) {
     }
     let mut call_sites = Vec::new();
     for (bi, b) in f.blocks.iter().enumerate() {
-        let mut p = block_start[bi];
-        for inst in &b.insts {
+        for (p, inst) in (block_start[bi]..).zip(&b.insts) {
             if inst.is_call() {
                 call_sites.push(p);
             }
@@ -97,7 +96,6 @@ pub fn analyze(f: &VFunc) -> (Vec<Interval>, Vec<u32>) {
             for d in inst.defs() {
                 extend(d, p, p + 1, &mut ranges);
             }
-            p += 1;
         }
         for &v in &live_in[bi] {
             extend(v, block_start[bi], block_start[bi] + 1, &mut ranges);

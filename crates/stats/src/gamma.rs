@@ -4,6 +4,9 @@
 
 /// Natural log of the gamma function (Lanczos approximation, g=7, n=9).
 pub fn ln_gamma(x: f64) -> f64 {
+    // Published Lanczos coefficients, kept verbatim (a digit or two past
+    // f64 precision).
+    #[allow(clippy::excessive_precision)]
     const COEF: [f64; 9] = [
         0.999_999_999_999_809_93,
         676.520_368_121_885_1,
@@ -125,7 +128,7 @@ mod tests {
     fn exponential_special_case() {
         // P(1, x) = 1 - e^{-x}.
         for &x in &[0.2, 1.0, 3.0, 8.0] {
-            close(gamma_p(1.0, x), 1.0 - (-x as f64).exp(), 1e-12);
+            close(gamma_p(1.0, x), 1.0 - (-x).exp(), 1e-12);
         }
     }
 

@@ -48,7 +48,7 @@ struct BurstInjector {
 impl FiRuntime for BurstInjector {
     fn sel_instr(&mut self, _site: u64) -> bool {
         self.count += 1;
-        self.count % 500 == 0
+        self.count.is_multiple_of(500)
     }
     fn setup_fi(&mut self, _nops: u32, _sizes: &[u32]) -> (u32, u32) {
         self.injections += 1;

@@ -1,0 +1,216 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! Provides the same authoring API (`criterion_group!`, `criterion_main!`,
+//! `Criterion`, `BenchmarkGroup`, `Bencher::iter`, `BenchmarkId`) but a much
+//! simpler measurement loop: each bench runs a short warm-up, then a fixed
+//! sample of timed iterations, and prints the mean time per iteration. No
+//! statistics, plots, or baselines — enough to smoke-run `cargo bench` and
+//! compare orders of magnitude offline.
+
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// Label for a bench within a group: `function_id/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Build `function_id/parameter`.
+    pub fn new(function_id: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{function_id}/{parameter}"),
+        }
+    }
+
+    /// Build from a parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Times a closure over a fixed number of iterations.
+pub struct Bencher {
+    samples: u64,
+    /// (total duration, iterations) of the measured loop.
+    measured: Option<(std::time::Duration, u64)>,
+}
+
+impl Bencher {
+    /// Run `f` repeatedly and record the mean time per call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: one untimed call.
+        black_box(f());
+        let iters = self.samples.max(1);
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        self.measured = Some((start.elapsed(), iters));
+    }
+}
+
+fn report(name: &str, measured: Option<(std::time::Duration, u64)>) {
+    match measured {
+        Some((total, iters)) => {
+            let per = total.as_secs_f64() / iters as f64;
+            let (val, unit) = if per >= 1.0 {
+                (per, "s")
+            } else if per >= 1e-3 {
+                (per * 1e3, "ms")
+            } else if per >= 1e-6 {
+                (per * 1e6, "µs")
+            } else {
+                (per * 1e9, "ns")
+            };
+            println!("{name:<50} time: {val:>9.3} {unit}/iter  ({iters} iters)");
+        }
+        None => println!("{name:<50} (no measurement)"),
+    }
+}
+
+/// A named collection of related benches.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: u64,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed iterations per bench.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1) as u64;
+        self
+    }
+
+    /// Run a bench with an input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            samples: self.samples,
+            measured: None,
+        };
+        f(&mut b, input);
+        report(&format!("{}/{}", self.name, id), b.measured);
+        self
+    }
+
+    /// Run a bench without an input value.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            samples: self.samples,
+            measured: None,
+        };
+        f(&mut b);
+        report(&format!("{}/{}", self.name, id), b.measured);
+        self
+    }
+
+    /// Finish the group (prints a separator).
+    pub fn finish(&mut self) {
+        println!();
+    }
+}
+
+/// Bench context handed to each `criterion_group!` target.
+#[derive(Default)]
+pub struct Criterion {
+    default_samples: u64,
+}
+
+impl Criterion {
+    /// Fresh context with the stand-in's default sample count.
+    pub fn new() -> Self {
+        Criterion {
+            default_samples: 10,
+        }
+    }
+
+    /// Open a named bench group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let samples = self.default_samples;
+        BenchmarkGroup {
+            name: name.into(),
+            samples,
+            _criterion: self,
+        }
+    }
+
+    /// Run a standalone bench.
+    pub fn bench_function<F>(&mut self, name: impl std::fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            samples: self.default_samples,
+            measured: None,
+        };
+        f(&mut b);
+        report(&name.to_string(), b.measured);
+        self
+    }
+}
+
+/// Define a bench group: `criterion_group!(name, target_fn, ...)`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::new();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Define the bench entry point: `criterion_main!(group, ...)`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn target(c: &mut Criterion) {
+        let mut g = c.benchmark_group("g");
+        g.sample_size(3);
+        g.bench_with_input(BenchmarkId::new("square", 7), &7u64, |b, &n| {
+            b.iter(|| n * n)
+        });
+        g.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        g.finish();
+        c.bench_function("standalone", |b| b.iter(|| black_box(1 + 1)));
+    }
+
+    criterion_group!(benches, target);
+
+    #[test]
+    fn harness_runs() {
+        benches();
+    }
+}

@@ -1,0 +1,547 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset this workspace's property tests use: value
+//! strategies (`any`, ranges, `Just`, tuples, `prop_oneof!`, `prop_map`,
+//! `collection::vec`, `option::of`, printable-string patterns), the
+//! `proptest!` macro with optional `#![proptest_config(...)]`, and the
+//! `prop_assert!`/`prop_assert_eq!` assertion forms that return
+//! `TestCaseError` instead of panicking.
+//!
+//! Differences from upstream: cases are generated from a deterministic
+//! per-test seed (reproducible runs, no persistence files) and failing
+//! inputs are reported but **not shrunk**.
+
+/// The usual glob import for tests.
+pub mod prelude {
+    pub use crate::strategy::{any, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use crate::test_runner::TestRng;
+
+    /// A recipe for generating values of type [`Strategy::Value`].
+    pub trait Strategy {
+        /// The generated value type.
+        type Value;
+
+        /// Generate one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transform generated values with `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Type-erase this strategy so heterogeneous strategies with the
+        /// same `Value` can live in one collection (`prop_oneof!`).
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Box::new(move |rng| self.generate(rng)))
+        }
+    }
+
+    /// A type-erased strategy.
+    pub struct BoxedStrategy<T>(Box<dyn Fn(&mut TestRng) -> T>);
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (self.0)(rng)
+        }
+    }
+
+    /// Strategy that always yields a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Uniform choice between type-erased alternatives (`prop_oneof!`).
+    pub struct Union<T> {
+        arms: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// Build from already-boxed arms; must be non-empty.
+        pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union { arms }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let i = rng.below(self.arms.len() as u64) as usize;
+            self.arms[i].generate(rng)
+        }
+    }
+
+    /// `prop_map` adapter.
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Values drawn from the full domain of `T`.
+    pub trait Arbitrary: Sized {
+        /// Generate an unconstrained value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    /// Strategy form of [`Arbitrary`], returned by [`any`].
+    #[derive(Debug, Default, Clone, Copy)]
+    pub struct Any<T>(std::marker::PhantomData<T>);
+
+    /// Strategy over the whole domain of `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(std::marker::PhantomData)
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            // Finite, sign-symmetric, wide dynamic range.
+            let mag = rng.f64_unit() * 1e12;
+            if rng.next_u64() & 1 == 1 {
+                -mag
+            } else {
+                mag
+            }
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + rng.below(span) as i128) as $t
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as i128 - lo as i128) as u128 + 1;
+                    if span > u64::MAX as u128 {
+                        return rng.next_u64() as $t;
+                    }
+                    (lo as i128 + rng.below(span as u64) as i128) as $t
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for std::ops::Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            self.start + rng.f64_unit() * (self.end - self.start)
+        }
+    }
+
+    /// String pattern strategy: upstream proptest interprets `&str` as a
+    /// regex. This stand-in supports the printable-character classes used
+    /// here (`\PC`, `.`) with an optional trailing `{m,n}` repetition, and
+    /// treats anything else as a literal prefix.
+    impl Strategy for &str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let (min, max) = repeat_bounds(self).unwrap_or((0, 32));
+            let len = min + rng.below((max - min + 1) as u64) as usize;
+            // Mostly ASCII printables with occasional multibyte chars to
+            // exercise UTF-8 handling in lexers.
+            const EXTRA: &[char] = &['é', 'λ', '→', '🦀', '¬', '\u{2028}'];
+            (0..len)
+                .map(|_| {
+                    if rng.below(8) == 0 {
+                        EXTRA[rng.below(EXTRA.len() as u64) as usize]
+                    } else {
+                        (0x20 + rng.below(0x5f) as u8) as char
+                    }
+                })
+                .collect()
+        }
+    }
+
+    fn repeat_bounds(pattern: &str) -> Option<(usize, usize)> {
+        let open = pattern.rfind('{')?;
+        let close = pattern.rfind('}')?;
+        let body = pattern.get(open + 1..close)?;
+        let (lo, hi) = body.split_once(',')?;
+        Some((lo.trim().parse().ok()?, hi.trim().parse().ok()?))
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($($s:ident => $idx:tt),+) => {
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        };
+    }
+    impl_tuple_strategy!(A => 0);
+    impl_tuple_strategy!(A => 0, B => 1);
+    impl_tuple_strategy!(A => 0, B => 1, C => 2);
+    impl_tuple_strategy!(A => 0, B => 1, C => 2, D => 3);
+    impl_tuple_strategy!(A => 0, B => 1, C => 2, D => 3, E => 4);
+    impl_tuple_strategy!(A => 0, B => 1, C => 2, D => 3, E => 4, F => 5);
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// `Vec` strategy with a length drawn from `len` (exclusive upper bound).
+    pub fn vec<S: Strategy>(element: S, len: std::ops::Range<usize>) -> VecStrategy<S> {
+        assert!(len.start < len.end, "empty vec length range");
+        VecStrategy { element, len }
+    }
+
+    /// Strategy produced by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        len: std::ops::Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let span = (self.len.end - self.len.start) as u64;
+            let n = self.len.start + rng.below(span) as usize;
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod option {
+    //! `Option` strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy yielding `None` about a quarter of the time, `Some` otherwise.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    /// Strategy produced by [`of`].
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(self.inner.generate(rng))
+            }
+        }
+    }
+}
+
+pub mod test_runner {
+    //! Deterministic case runner.
+
+    /// Per-test configuration (`#![proptest_config(...)]`).
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of cases to run.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// A failed (or rejected) test case.
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        /// Assertion failure — fails the test.
+        Fail(String),
+        /// Input rejected — the case is skipped.
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        /// Build a failure.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+
+        /// Build a rejection.
+        pub fn reject(msg: impl Into<String>) -> Self {
+            TestCaseError::Reject(msg.into())
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                TestCaseError::Fail(m) => write!(f, "test case failed: {m}"),
+                TestCaseError::Reject(m) => write!(f, "input rejected: {m}"),
+            }
+        }
+    }
+
+    /// Deterministic generator PRNG (splitmix64 stream).
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seed a stream.
+        pub fn new(seed: u64) -> Self {
+            TestRng {
+                state: seed ^ 0x9e37_79b9_7f4a_7c15,
+            }
+        }
+
+        /// Next raw 64-bit value.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `[0, bound)`; `bound` must be non-zero.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            // Multiply-shift bounded sampling; bias is negligible for the
+            // small bounds tests use.
+            ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+        }
+
+        /// Uniform float in `[0, 1)`.
+        pub fn f64_unit(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+
+    /// Run `config.cases` cases of `body`, panicking on the first failure.
+    /// The RNG stream is seeded from the test name, so runs are reproducible
+    /// and independent of sibling tests.
+    pub fn run_cases<F>(config: &ProptestConfig, name: &str, mut body: F)
+    where
+        F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+    {
+        let seed = name
+            .bytes()
+            .fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+                (h ^ b as u64).wrapping_mul(0x1000_0000_01b3)
+            });
+        let mut rng = TestRng::new(seed);
+        let mut rejected = 0u32;
+        for case in 0..config.cases {
+            match body(&mut rng) {
+                Ok(()) => {}
+                Err(TestCaseError::Reject(_)) => {
+                    rejected += 1;
+                    if rejected > config.cases.saturating_mul(4).max(64) {
+                        panic!("proptest `{name}`: too many rejected inputs");
+                    }
+                }
+                Err(TestCaseError::Fail(msg)) => {
+                    panic!("proptest `{name}` failed at case {case}/{}: {msg}", config.cases);
+                }
+            }
+        }
+    }
+}
+
+/// Define property tests. Each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running `body` over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!($config; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!($crate::test_runner::ProptestConfig::default(); $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($config:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat_param in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config = $config;
+            $crate::test_runner::run_cases(&__config, stringify!($name), |__rng| {
+                $(let $arg = $crate::strategy::Strategy::generate(&$strat, __rng);)+
+                (|| -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                    $body
+                    ::std::result::Result::Ok(())
+                })()
+            });
+        }
+    )*};
+}
+
+/// Uniform choice among strategies that produce the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+/// Assert inside a proptest body; failure aborts the case (not the process).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Equality assertion inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (__a, __b) = (&$a, &$b);
+        $crate::prop_assert!(
+            __a == __b,
+            "prop_assert_eq failed: `{}` != `{}`\n  left: {:?}\n right: {:?}",
+            stringify!($a), stringify!($b), __a, __b
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (__a, __b) = (&$a, &$b);
+        $crate::prop_assert!(
+            __a == __b,
+            "prop_assert_eq failed: {}\n  left: {:?}\n right: {:?}",
+            format!($($fmt)+), __a, __b
+        );
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = crate::test_runner::TestRng::new(7);
+        for _ in 0..2000 {
+            let v = Strategy::generate(&(-5i64..5), &mut rng);
+            assert!((-5..5).contains(&v));
+            let u = Strategy::generate(&(0u8..16), &mut rng);
+            assert!(u < 16);
+            let f = Strategy::generate(&(0.0f64..1.0), &mut rng);
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn string_pattern_bounds() {
+        let mut rng = crate::test_runner::TestRng::new(3);
+        for _ in 0..200 {
+            let s = Strategy::generate(&"\\PC{0,200}", &mut rng);
+            assert!(s.chars().count() <= 200);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn self_test_macro(a in 0u32..100, b in any::<bool>()) {
+            prop_assert!(a < 100);
+            if b { return Ok(()); }
+            prop_assert_eq!(a + 1, 1 + a);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn self_test_default_config(
+            v in crate::collection::vec(prop_oneof![Just(1u8), Just(8u8)], 0..10),
+            o in crate::option::of(0u8..4),
+        ) {
+            prop_assert!(v.iter().all(|&x| x == 1 || x == 8));
+            if let Some(x) = o { prop_assert!(x < 4); }
+        }
+    }
+}

@@ -1,0 +1,235 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored crate
+//! implements exactly the API surface the workspace uses: `rngs::StdRng`,
+//! [`SeedableRng::seed_from_u64`], and [`Rng::gen_range`] over half-open and
+//! inclusive integer ranges plus half-open float ranges.
+//!
+//! The generator is xoshiro256** seeded through splitmix64 — a different
+//! stream than upstream `StdRng` (ChaCha12), but the workspace only relies
+//! on determinism-given-seed and uniformity, never on a specific stream.
+
+/// Seedable random number generators.
+pub trait SeedableRng: Sized {
+    /// Construct a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Uniform sampling over a range type.
+pub trait SampleRange<T> {
+    /// Draw one value uniformly from `self`.
+    fn sample(self, rng: &mut dyn RngCore) -> T;
+    /// True when the range contains no values.
+    fn is_empty_range(&self) -> bool;
+}
+
+/// The raw 64-bit generator interface.
+pub trait RngCore {
+    /// Next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// User-facing sampling methods, blanket-implemented for every generator.
+pub trait Rng: RngCore + Sized {
+    /// Sample uniformly from `range`. Panics on an empty range, like the
+    /// real `rand`.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        assert!(!range.is_empty_range(), "cannot sample empty range");
+        range.sample(self)
+    }
+
+    /// Generate a value of a supported type (`bool`, integers, `f64`).
+    fn gen<T: Standard>(&mut self) -> T {
+        T::generate(self)
+    }
+}
+
+impl<G: RngCore + Sized> Rng for G {}
+
+/// Types with a "standard" full-range distribution.
+pub trait Standard: Sized {
+    /// Draw one value.
+    fn generate(rng: &mut dyn RngCore) -> Self;
+}
+
+impl Standard for u64 {
+    fn generate(rng: &mut dyn RngCore) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn generate(rng: &mut dyn RngCore) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Standard for bool {
+    fn generate(rng: &mut dyn RngCore) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn generate(rng: &mut dyn RngCore) -> Self {
+        // 53 uniform mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Uniform integer in `[0, bound)` by Lemire's multiply-shift with a
+/// rejection step (no modulo bias).
+fn bounded(rng: &mut dyn RngCore, bound: u64) -> u64 {
+    debug_assert!(bound > 0);
+    loop {
+        let x = rng.next_u64();
+        let m = (x as u128) * (bound as u128);
+        let lo = m as u64;
+        if lo >= bound || lo >= (u64::MAX - bound + 1) % bound {
+            return (m >> 64) as u64;
+        }
+    }
+}
+
+macro_rules! impl_int_ranges {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample(self, rng: &mut dyn RngCore) -> $t {
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + bounded(rng, span) as i128) as $t
+            }
+            fn is_empty_range(&self) -> bool {
+                self.start >= self.end
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample(self, rng: &mut dyn RngCore) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                if span > u64::MAX as u128 {
+                    return rng.next_u64() as $t;
+                }
+                (lo as i128 + bounded(rng, span as u64) as i128) as $t
+            }
+            fn is_empty_range(&self) -> bool {
+                self.start() > self.end()
+            }
+        }
+    )*};
+}
+
+impl_int_ranges!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleRange<f64> for core::ops::Range<f64> {
+    fn sample(self, rng: &mut dyn RngCore) -> f64 {
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        self.start + unit * (self.end - self.start)
+    }
+    fn is_empty_range(&self) -> bool {
+        self.start >= self.end || self.start.is_nan() || self.end.is_nan()
+    }
+}
+
+/// Generator implementations.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The standard generator: xoshiro256** (Blackman & Vigna), seeded via
+    /// splitmix64.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            StdRng {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[1]
+                .wrapping_mul(5)
+                .rotate_left(7)
+                .wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0u64..1000), b.gen_range(0u64..1000));
+        }
+    }
+
+    #[test]
+    fn seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let va: Vec<u64> = (0..8).map(|_| a.gen_range(0u64..u64::MAX)).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.gen_range(0u64..u64::MAX)).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let v = r.gen_range(5u32..17);
+            assert!((5..17).contains(&v));
+            let w = r.gen_range(1u64..=3);
+            assert!((1..=3).contains(&w));
+            let x = r.gen_range(-10i64..10);
+            assert!((-10..10).contains(&x));
+            let f = r.gen_range(0.25f64..0.75);
+            assert!((0.25..0.75).contains(&f));
+            let u = r.gen_range(0usize..3);
+            assert!(u < 3);
+        }
+    }
+
+    #[test]
+    fn bounded_is_roughly_uniform() {
+        let mut r = StdRng::seed_from_u64(11);
+        let mut counts = [0u32; 10];
+        for _ in 0..10_000 {
+            counts[r.gen_range(0usize..10)] += 1;
+        }
+        for c in counts {
+            assert!((700..1300).contains(&c), "bucket count {c} out of band");
+        }
+    }
+}

@@ -1,0 +1,251 @@
+//! Derive macros for the vendored serde stand-in.
+//!
+//! Supports exactly the shapes this workspace serializes:
+//!
+//! * structs with named fields — mapped to `Value::Map` keyed by field name;
+//! * enums whose variants are all unit variants — mapped to `Value::Str`
+//!   holding the variant name.
+//!
+//! The input item is parsed directly from the token stream (no `syn` in an
+//! offline build), and the impls are generated as source text and re-parsed.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derive `serde::Serialize` for a named-field struct or unit-variant enum.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let src = match &item.shape {
+        Shape::Struct(fields) => {
+            let entries: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f})),"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Map(vec![{entries}])\n\
+                     }}\n\
+                 }}",
+                name = item.name,
+            )
+        }
+        Shape::Enum(variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    format!(
+                        "{name}::{v} => ::serde::Value::Str(\"{v}\".to_string()),",
+                        name = item.name
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{ {arms} }}\n\
+                     }}\n\
+                 }}",
+                name = item.name,
+            )
+        }
+    };
+    src.parse().expect("serde_derive generated invalid Serialize impl")
+}
+
+/// Derive `serde::Deserialize` for a named-field struct or unit-variant enum.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let src = match &item.shape {
+        Shape::Struct(fields) => {
+            let inits: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(v.get_field(\"{f}\")?)?,"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         ::std::result::Result::Ok({name} {{ {inits} }})\n\
+                     }}\n\
+                 }}",
+                name = item.name,
+            )
+        }
+        Shape::Enum(variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    format!(
+                        "\"{v}\" => ::std::result::Result::Ok({name}::{v}),",
+                        name = item.name
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         match v {{\n\
+                             ::serde::Value::Str(s) => match s.as_str() {{\n\
+                                 {arms}\n\
+                                 other => ::std::result::Result::Err(::serde::Error(\n\
+                                     format!(\"unknown variant `{{other}}` for {name}\"))),\n\
+                             }},\n\
+                             other => ::std::result::Result::Err(::serde::Error(\n\
+                                 format!(\"expected string for {name}, found {{}}\", other.kind()))),\n\
+                         }}\n\
+                     }}\n\
+                 }}",
+                name = item.name,
+            )
+        }
+    };
+    src.parse().expect("serde_derive generated invalid Deserialize impl")
+}
+
+enum Shape {
+    /// Named field identifiers, in declaration order.
+    Struct(Vec<String>),
+    /// Unit variant identifiers, in declaration order.
+    Enum(Vec<String>),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut toks = input.into_iter().peekable();
+    skip_attrs_and_vis(&mut toks);
+
+    let kind = match toks.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde derive: expected `struct` or `enum`, found {other:?}"),
+    };
+    let name = match toks.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde derive: expected item name, found {other:?}"),
+    };
+
+    // Reject generics up front — nothing in this workspace derives on
+    // generic types, and supporting them would complicate the generator.
+    if let Some(TokenTree::Punct(p)) = toks.peek() {
+        if p.as_char() == '<' {
+            panic!("serde derive: generic types are not supported for `{name}`");
+        }
+    }
+
+    let body = loop {
+        match toks.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g,
+            Some(_) => continue, // e.g. `where` clauses would land here (unused)
+            None => panic!("serde derive: `{name}` has no braced body (tuple/unit items unsupported)"),
+        }
+    };
+
+    let shape = match kind.as_str() {
+        "struct" => Shape::Struct(parse_struct_fields(body.stream(), &name)),
+        "enum" => Shape::Enum(parse_enum_variants(body.stream(), &name)),
+        other => panic!("serde derive: unsupported item kind `{other}`"),
+    };
+    Item { name, shape }
+}
+
+/// Skip leading `#[...]` attributes (incl. doc comments) and a `pub` /
+/// `pub(...)` visibility marker.
+fn skip_attrs_and_vis(
+    toks: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>,
+) {
+    loop {
+        match toks.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                toks.next();
+                match toks.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {}
+                    other => panic!("serde derive: malformed attribute, found {other:?}"),
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                toks.next();
+                if let Some(TokenTree::Group(g)) = toks.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        toks.next(); // pub(crate) / pub(super) / ...
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+fn parse_struct_fields(body: TokenStream, name: &str) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut toks = body.into_iter().peekable();
+    loop {
+        skip_attrs_and_vis(&mut toks);
+        let field = match toks.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("serde derive: expected field name in `{name}`, found {other:?}"),
+        };
+        match toks.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!(
+                "serde derive: expected `:` after field `{field}` in `{name}`, found {other:?}"
+            ),
+        }
+        fields.push(field);
+        // Skip the type: consume until a comma at angle-bracket depth zero.
+        // `->` never appears in field types at depth 0 in this workspace's
+        // derives, so tracking only `<`/`>` depth is sufficient.
+        let mut depth = 0i32;
+        loop {
+            match toks.next() {
+                None => return fields,
+                Some(TokenTree::Punct(p)) => match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 0 => break,
+                    _ => {}
+                },
+                Some(_) => {}
+            }
+        }
+    }
+    fields
+}
+
+fn parse_enum_variants(body: TokenStream, name: &str) -> Vec<String> {
+    let mut variants = Vec::new();
+    let mut toks = body.into_iter().peekable();
+    loop {
+        skip_attrs_and_vis(&mut toks);
+        let variant = match toks.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("serde derive: expected variant in `{name}`, found {other:?}"),
+        };
+        match toks.next() {
+            None => {
+                variants.push(variant);
+                break;
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => variants.push(variant),
+            Some(TokenTree::Group(_)) | Some(TokenTree::Punct(_)) => panic!(
+                "serde derive: enum `{name}` variant `{variant}` carries data; \
+                 only unit variants are supported"
+            ),
+            other => panic!("serde derive: unexpected token after `{variant}`: {other:?}"),
+        }
+    }
+    variants
+}
