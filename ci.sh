@@ -13,4 +13,17 @@ cargo test -q --offline
 echo "== cargo clippy (deny warnings)"
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
+echo "== cross-jobs determinism (--jobs 1 vs --jobs 4)"
+# The outcome tables must be bit-identical at any worker count; diff the
+# stdout tables of a short sweep run serially and sharded.
+EXP=target/release/refine-experiments
+J1="$($EXP table6 --trials 12 --apps HPCCG-1.0,CoMD --seed 7 --jobs 1 --quiet 2>/dev/null)"
+J4="$($EXP table6 --trials 12 --apps HPCCG-1.0,CoMD --seed 7 --jobs 4 --quiet 2>/dev/null)"
+if [ "$J1" != "$J4" ]; then
+    echo "determinism check FAILED: --jobs 1 and --jobs 4 outputs differ" >&2
+    diff <(printf '%s\n' "$J1") <(printf '%s\n' "$J4") >&2 || true
+    exit 1
+fi
+echo "   identical tables at both job counts"
+
 echo "CI OK"

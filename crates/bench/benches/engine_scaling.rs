@@ -1,0 +1,74 @@
+//! Worker-scaling harness for the sharded campaign engine: the same sweep
+//! at 1, 2, 4 and 8 jobs.
+//!
+//! Criterion measures end-to-end sweep wall clock per jobs count; the bench
+//! also prints the engine's own accounting (busy/wall/speedup, cache hit
+//! rate) so the scaling curve is visible in bench logs. On a multi-core
+//! host the wall clock shrinks towards `busy / jobs`; on a single hardware
+//! thread all job counts necessarily measure alike — the printed per-jobs
+//! results double as a determinism check either way (identical outcome
+//! counts at every jobs count).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use refine_campaign::engine::{
+    run_sweep, ArtifactCache, ArtifactSource, EngineCampaign, EngineConfig, EngineHooks,
+    DEFAULT_BATCH,
+};
+use refine_campaign::tools::{PreparedTool, Tool};
+use std::sync::Arc;
+
+const TRIALS: u64 = 60;
+const SEED: u64 = 0x5CA1E;
+
+fn sweep_specs() -> Vec<EngineCampaign> {
+    ["HPCCG-1.0", "CoMD"]
+        .iter()
+        .flat_map(|app| {
+            let module = Arc::new(refine_benchmarks::by_name(app).unwrap().module());
+            Tool::all().into_iter().map(move |tool| EngineCampaign {
+                app: app.to_string(),
+                tool,
+                // Pre-prepare so the bench isolates trial scheduling, not
+                // compilation (compile cost is compile_overhead's subject).
+                source: ArtifactSource::Prepared(Arc::new(PreparedTool::prepare(&module, tool))),
+            })
+        })
+        .collect()
+}
+
+fn bench_engine_scaling(c: &mut Criterion) {
+    let specs = sweep_specs();
+    let mut g = c.benchmark_group("engine_scaling");
+    g.sample_size(10);
+    let mut baseline: Option<(u64, u64, u64)> = None;
+    for jobs in [1usize, 2, 4, 8] {
+        let cfg = EngineConfig { trials: TRIALS, seed: SEED, jobs, batch: DEFAULT_BATCH };
+        // One instrumented run for the record (and the determinism check).
+        let report = run_sweep(&specs, &cfg, &ArtifactCache::new(), &EngineHooks::default());
+        let crashes: u64 = report.results.iter().map(|r| r.counts.crash).sum();
+        let socs: u64 = report.results.iter().map(|r| r.counts.soc).sum();
+        let cycles: u64 = report.results.iter().map(|r| r.total_cycles).sum();
+        println!(
+            "[engine] jobs={jobs} wall={:8.2}ms busy={:8.2}ms speedup={:.2}x \
+             crash={crashes} soc={socs}",
+            report.wall_ns as f64 / 1e6,
+            report.busy_ns as f64 / 1e6,
+            report.speedup(),
+        );
+        match baseline {
+            None => baseline = Some((crashes, socs, cycles)),
+            Some(b) => assert_eq!(
+                b,
+                (crashes, socs, cycles),
+                "jobs={jobs} changed campaign results — determinism violated"
+            ),
+        }
+        g.bench_with_input(BenchmarkId::from_parameter(jobs), &cfg, |b, cfg| {
+            b.iter(|| run_sweep(&specs, cfg, &ArtifactCache::new(), &EngineHooks::default()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_engine_scaling);
+criterion_main!(benches);

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! refine-experiments [fig4|table4|table5|table6|fig5|samples|ablation|all]
-//!                    [--trials N] [--seed S] [--threads T] [--apps A,B,...]
+//!                    [--trials N] [--seed S] [--jobs N] [--apps A,B,...]
 //!                    [--trace-out FILE] [--json] [--quiet]
 //! refine-experiments trace-summary FILE
 //! ```
@@ -11,19 +11,27 @@
 //! `--trials` runs; the paper's configuration is `--trials 1068`, the
 //! default) and prints every artifact.
 //!
+//! Scheduling: all selected `(app, tool)` campaigns form one trial space
+//! sharded across `--jobs N` workers (default: available parallelism; any
+//! jobs count produces bit-identical results). Instrumented artifacts are
+//! compiled once per (app, tool) and shared across workers; the engine
+//! summary reports wall-clock speedup and cache hit rate.
+//!
 //! Observability:
 //!
 //! * `--trace-out FILE` streams one JSON line of fault provenance per trial
 //!   (tool, seed, target, site, opcode, bit, outcome, trap cause);
 //! * `trace-summary FILE` aggregates such a file into an injection-site x
 //!   outcome table;
-//! * `--json` emits the suite results plus a metrics snapshot (latency and
+//! * `--json` emits the suite results, the engine report (per-campaign
+//!   speedup, cache hit rate) and a metrics snapshot (latency and
 //!   instruction-count histograms, trap-cause breakdown, per-phase compile
 //!   times) as JSON on stdout instead of the text tables;
 //! * `--quiet` suppresses the live progress lines.
 
 use refine_campaign::campaign::CampaignConfig;
-use refine_campaign::experiments::{self, run_suite_observed, SuiteObserver, SuiteResults};
+use refine_campaign::engine::EngineReport;
+use refine_campaign::experiments::{self, run_suite_sharded, SuiteObserver};
 use refine_campaign::tools::{PreparedTool, Tool};
 use refine_telemetry::trace::{read_jsonl, TraceSummary};
 use refine_telemetry::TraceSink;
@@ -32,11 +40,24 @@ use serde::Serialize;
 fn usage() -> ! {
     eprintln!(
         "usage: refine-experiments [fig4|table4|table5|table6|fig5|samples|ablation|all] \
-         [--trials N] [--seed S] [--threads T] [--apps A,B,...] \
+         [--trials N] [--seed S] [--jobs N] [--apps A,B,...] \
          [--trace-out FILE] [--json] [--quiet]\n\
          \x20      refine-experiments trace-summary FILE"
     );
     std::process::exit(2);
+}
+
+/// The `--json` rendering of the engine's scheduling report.
+fn engine_to_value(report: &EngineReport) -> serde::Value {
+    serde::Value::Map(vec![
+        ("jobs".to_string(), (report.jobs as u64).to_value()),
+        ("wall_ns".to_string(), report.wall_ns.to_value()),
+        ("busy_ns".to_string(), report.busy_ns.to_value()),
+        ("speedup".to_string(), report.speedup().to_value()),
+        ("cache_hit_rate".to_string(), report.cache.hit_rate().to_value()),
+        ("cache".to_string(), report.cache.to_value()),
+        ("campaigns".to_string(), report.stats.to_value()),
+    ])
 }
 
 fn main() {
@@ -86,9 +107,10 @@ fn main() {
                 i += 1;
                 cfg.seed = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
             }
-            "--threads" => {
+            // --threads kept as a compatibility alias for --jobs.
+            "--jobs" | "--threads" => {
                 i += 1;
-                cfg.threads = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+                cfg.jobs = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
             }
             "--apps" => {
                 i += 1;
@@ -173,14 +195,14 @@ fn main() {
 
     if !quiet {
         eprintln!(
-            "running campaigns: trials={} seed={} threads={}",
+            "running campaigns: trials={} seed={} jobs={}",
             cfg.trials,
             cfg.seed,
-            if cfg.threads == 0 { "auto".to_string() } else { cfg.threads.to_string() }
+            if cfg.jobs == 0 { "auto".to_string() } else { cfg.jobs.to_string() }
         );
     }
     let obs = SuiteObserver { live_progress: !quiet, sink: sink.as_ref() };
-    let suite: SuiteResults = run_suite_observed(&cfg, apps.as_deref(), &obs, |_, _| {});
+    let (suite, engine) = run_suite_sharded(&cfg, apps.as_deref(), &obs, |_, _| {});
     if let Some(sink) = &sink {
         if let Err(e) = sink.flush() {
             eprintln!("refine-experiments: trace flush failed: {e}");
@@ -190,10 +212,14 @@ fn main() {
     if json {
         let report = serde::Value::Map(vec![
             ("suite".to_string(), suite.to_value()),
+            ("engine".to_string(), engine_to_value(&engine)),
             ("metrics".to_string(), refine_telemetry::registry().snapshot().to_value()),
         ]);
         println!("{}", serde::json::to_string_pretty(&report));
         return;
+    }
+    if !quiet {
+        eprint!("{}", experiments::engine_summary(&engine));
     }
 
     match cmd.as_str() {

@@ -1,13 +1,20 @@
-//! The parallel campaign runner.
+//! The campaign runner: one (program, tool) pair, `trials` independent
+//! single-fault runs classified against the golden output.
 //!
-//! One campaign = one (program, tool) pair: profile once, then `trials`
-//! independent single-fault runs with uniformly drawn dynamic targets,
-//! classified against the golden output. Trials are deterministic functions
-//! of `(campaign seed, tool, trial index)`, so campaigns are reproducible
-//! and embarrassingly parallel (crossbeam scoped threads over disjoint
-//! trial ranges).
+//! Since the sharded-engine refactor this module owns the *per-trial*
+//! machinery — deterministic stream derivation and single-trial execution —
+//! while scheduling lives in [`crate::engine`]: every campaign, serial or
+//! sharded, runs through the same work-stealing worker pool, so
+//! `run_campaign` is just a one-campaign sweep.
+//!
+//! Determinism invariant: a trial is a pure function of
+//! `(campaign seed, program, tool, trial index)` plus the immutable
+//! prepared artifact. Worker identity, claim order, jobs count and cache
+//! state never enter the derivation, so any sharding produces bit-identical
+//! outcome tables.
 
 use crate::classify::{classify, Outcome};
+use crate::engine::{run_sweep, ArtifactCache, ArtifactSource, EngineCampaign, EngineHooks};
 use crate::tools::{PreparedTool, Tool};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -15,6 +22,7 @@ use refine_ir::Module;
 use refine_machine::RunOutcome;
 use refine_telemetry::{OutcomeKind, Progress, TraceSink, TrialTrace};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Outcome frequencies of a campaign (one row of the paper's Table 6).
@@ -66,13 +74,14 @@ pub struct CampaignConfig {
     pub trials: u64,
     /// Master seed; different seeds give independent samples.
     pub seed: u64,
-    /// Worker threads (0 = all available cores).
-    pub threads: usize,
+    /// Worker jobs (0 = all available cores). Any value produces identical
+    /// outcome tables; it only changes wall-clock time.
+    pub jobs: usize,
 }
 
 impl Default for CampaignConfig {
     fn default() -> Self {
-        CampaignConfig { trials: 1068, seed: 0xB1ADE, threads: 0 }
+        CampaignConfig { trials: 1068, seed: 0xB1ADE, jobs: 0 }
     }
 }
 
@@ -92,14 +101,21 @@ pub struct CampaignResult {
     pub profile_cycles: u64,
 }
 
-/// Per-trial seeding: independent streams per (seed, tool, trial).
-fn trial_stream(seed: u64, tool: Tool, trial: u64) -> (u64, u64) {
+/// Stable per-program stream salt: mixes the benchmark name into every
+/// trial stream so campaigns on different programs draw independent fault
+/// samples even under one sweep seed.
+pub fn program_salt(app: &str) -> u64 {
+    refine_core::fnv1a(app.as_bytes())
+}
+
+/// Per-trial seeding: independent streams per (seed, program, tool, trial).
+fn trial_stream(seed: u64, app_salt: u64, tool: Tool, trial: u64) -> (u64, u64) {
     let tool_id = match tool {
         Tool::Llfi => 1u64,
         Tool::Refine => 2,
         Tool::Pinfi => 3,
     };
-    let mut h = seed ^ (tool_id.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let mut h = seed ^ app_salt.rotate_left(32) ^ (tool_id.wrapping_mul(0x9E37_79B9_7F4A_7C15));
     h ^= trial.wrapping_mul(0xBF58_476D_1CE4_E5B9);
     // splitmix64 finalizer
     let mut z = h.wrapping_add(0x9E37_79B9_7F4A_7C15);
@@ -107,6 +123,75 @@ fn trial_stream(seed: u64, tool: Tool, trial: u64) -> (u64, u64) {
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^= z >> 31;
     (z, z.rotate_left(17) ^ 0xDEAD_BEEF_CAFE_F00D)
+}
+
+fn outcome_kind(o: Outcome) -> OutcomeKind {
+    match o {
+        Outcome::Crash => OutcomeKind::Crash,
+        Outcome::Soc => OutcomeKind::Soc,
+        Outcome::Benign => OutcomeKind::Benign,
+    }
+}
+
+/// Execute one trial of a campaign: derive the fault-model stream, run the
+/// injection against the shared immutable artifact, classify, and feed the
+/// observers. This is the single trial path shared by every scheduler.
+pub(crate) fn execute_trial(
+    prepared: &PreparedTool,
+    app: &str,
+    app_salt: u64,
+    campaign_seed: u64,
+    trial: u64,
+    sink: Option<&TraceSink>,
+    progress: Option<&Progress>,
+) -> (Outcome, u64) {
+    let (s1, s2) = trial_stream(campaign_seed, app_salt, prepared.tool, trial);
+    let mut rng = StdRng::seed_from_u64(s1);
+    let target = rng.gen_range(1..=prepared.population);
+    // Skip the clock read unless someone consumes it.
+    let t0 = refine_telemetry::enabled().then(Instant::now);
+    let (r, log) = prepared.run_trial_traced(target, s2);
+    let outcome = classify(&prepared.golden, &r);
+
+    let trap = match r.outcome {
+        RunOutcome::Trap(t) => Some(t.name()),
+        RunOutcome::Timeout => Some("timeout"),
+        RunOutcome::Exit(_) => None,
+    };
+    let kind = outcome_kind(outcome);
+    if let Some(t0) = t0 {
+        let ns = t0.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        refine_telemetry::registry().record_trial(ns, r.instrs_retired, r.cycles, kind, trap);
+    }
+    if let Some(p) = progress {
+        p.record(kind);
+    }
+    if let Some(sink) = sink {
+        let rec = TrialTrace {
+            app: app.to_string(),
+            tool: prepared.tool.name().to_lowercase(),
+            trial,
+            seed: s2,
+            target_dyn: target,
+            site: log.map(|l| l.site),
+            opcode: log.as_ref().and_then(|l| prepared.site_opcode(l)),
+            operand: log.map(|l| l.operand as u64),
+            bit: log.map(|l| l.bit as u64),
+            outcome: match outcome {
+                Outcome::Crash => "crash",
+                Outcome::Soc => "soc",
+                Outcome::Benign => "benign",
+            }
+            .to_string(),
+            trap: trap.map(str::to_string),
+            cycles: r.cycles,
+            instrs: r.instrs_retired,
+        };
+        if let Err(e) = sink.write(&rec) {
+            eprintln!("trace sink write failed: {e}");
+        }
+    }
+    (outcome, r.cycles)
 }
 
 /// Run a full campaign of `cfg.trials` single-fault runs.
@@ -120,20 +205,13 @@ pub fn run_campaign(module: &Module, tool: Tool, cfg: &CampaignConfig) -> Campai
 /// whenever telemetry is enabled, hooks or not.
 #[derive(Default)]
 pub struct CampaignHooks<'a> {
-    /// Benchmark name stamped into trace records.
+    /// Benchmark name stamped into trace records (and mixed into the
+    /// per-trial streams via [`program_salt`]).
     pub app: &'a str,
     /// Per-trial provenance sink (`--trace-out`).
     pub sink: Option<&'a TraceSink>,
     /// Live progress reporter.
     pub progress: Option<&'a Progress>,
-}
-
-fn outcome_kind(o: Outcome) -> OutcomeKind {
-    match o {
-        Outcome::Crash => OutcomeKind::Crash,
-        Outcome::Soc => OutcomeKind::Soc,
-        Outcome::Benign => OutcomeKind::Benign,
-    }
 }
 
 /// Run a campaign against an already-prepared tool (lets callers share the
@@ -145,105 +223,28 @@ pub fn run_campaign_prepared(prepared: &PreparedTool, cfg: &CampaignConfig) -> C
 /// [`run_campaign_prepared`] with observer hooks: per-trial provenance
 /// records, live progress, and (when telemetry is enabled) latency /
 /// instruction-count / trap-cause metrics.
+///
+/// Scheduling is the sharded engine's: a one-campaign sweep over a
+/// work-stealing worker pool sharing the prepared artifact immutably.
 pub fn run_campaign_observed(
     prepared: &PreparedTool,
     cfg: &CampaignConfig,
     hooks: &CampaignHooks<'_>,
 ) -> CampaignResult {
-    let threads = if cfg.threads == 0 {
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
-    } else {
-        cfg.threads
+    let spec = EngineCampaign {
+        app: hooks.app.to_string(),
+        tool: prepared.tool,
+        source: ArtifactSource::Prepared(Arc::new(prepared.clone())),
     };
-    let threads = threads.min(cfg.trials.max(1) as usize).max(1);
-
-    let chunk = cfg.trials.div_ceil(threads as u64);
-    let results: Vec<(OutcomeCounts, u64)> = crossbeam::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for t in 0..threads as u64 {
-            let lo = t * chunk;
-            let hi = ((t + 1) * chunk).min(cfg.trials);
-            if lo >= hi {
-                break;
-            }
-            let prepared = &*prepared;
-            let cfg = *cfg;
-            handles.push(scope.spawn(move |_| {
-                let mut counts = OutcomeCounts::default();
-                let mut cycles = 0u64;
-                for trial in lo..hi {
-                    let (s1, s2) = trial_stream(cfg.seed, prepared.tool, trial);
-                    let mut rng = StdRng::seed_from_u64(s1);
-                    let target = rng.gen_range(1..=prepared.population);
-                    // Skip the clock read unless someone consumes it.
-                    let t0 = refine_telemetry::enabled().then(Instant::now);
-                    let (r, log) = prepared.run_trial_traced(target, s2);
-                    let outcome = classify(&prepared.golden, &r);
-                    counts.add(outcome);
-                    cycles += r.cycles;
-
-                    let trap = match r.outcome {
-                        RunOutcome::Trap(t) => Some(t.name()),
-                        RunOutcome::Timeout => Some("timeout"),
-                        RunOutcome::Exit(_) => None,
-                    };
-                    let kind = outcome_kind(outcome);
-                    if let Some(t0) = t0 {
-                        let ns = t0.elapsed().as_nanos().min(u64::MAX as u128) as u64;
-                        refine_telemetry::registry()
-                            .record_trial(ns, r.instrs_retired, r.cycles, kind, trap);
-                    }
-                    if let Some(p) = hooks.progress {
-                        p.record(kind);
-                    }
-                    if let Some(sink) = hooks.sink {
-                        let rec = TrialTrace {
-                            app: hooks.app.to_string(),
-                            tool: prepared.tool.name().to_lowercase(),
-                            trial,
-                            seed: s2,
-                            target_dyn: target,
-                            site: log.map(|l| l.site),
-                            opcode: log.as_ref().and_then(|l| prepared.site_opcode(l)),
-                            operand: log.map(|l| l.operand as u64),
-                            bit: log.map(|l| l.bit as u64),
-                            outcome: match outcome {
-                                Outcome::Crash => "crash",
-                                Outcome::Soc => "soc",
-                                Outcome::Benign => "benign",
-                            }
-                            .to_string(),
-                            trap: trap.map(str::to_string),
-                            cycles: r.cycles,
-                            instrs: r.instrs_retired,
-                        };
-                        if let Err(e) = sink.write(&rec) {
-                            eprintln!("trace sink write failed: {e}");
-                        }
-                    }
-                }
-                (counts, cycles)
-            }));
-        }
-        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
-    })
-    .expect("campaign scope");
-
-    let mut counts = OutcomeCounts::default();
-    let mut total_cycles = 0;
-    for (c, cy) in results {
-        counts.crash += c.crash;
-        counts.soc += c.soc;
-        counts.benign += c.benign;
-        total_cycles += cy;
-    }
-    CampaignResult {
-        tool: prepared.tool.name().to_string(),
-        counts,
-        total_cycles,
-        population: prepared.population,
-        profile_cycles: prepared.profile_cycles,
-    }
+    let cache = ArtifactCache::new();
+    let ehooks = EngineHooks { sink: hooks.sink, progress: hooks.progress };
+    let mut report = run_sweep(
+        std::slice::from_ref(&spec),
+        &crate::engine::EngineConfig::from_campaign(cfg),
+        &cache,
+        &ehooks,
+    );
+    report.results.pop().expect("one-campaign sweep yields one result")
 }
 
 #[cfg(test)]
@@ -267,7 +268,7 @@ mod tests {
     #[test]
     fn campaign_totals_match_trials() {
         let m = tiny_module();
-        let cfg = CampaignConfig { trials: 40, seed: 7, threads: 2 };
+        let cfg = CampaignConfig { trials: 40, seed: 7, jobs: 2 };
         for tool in Tool::all() {
             let r = run_campaign(&m, tool, &cfg);
             assert_eq!(r.counts.total(), 40, "{}", tool.name());
@@ -278,13 +279,13 @@ mod tests {
     #[test]
     fn campaigns_are_reproducible() {
         let m = tiny_module();
-        let cfg = CampaignConfig { trials: 30, seed: 99, threads: 3 };
+        let cfg = CampaignConfig { trials: 30, seed: 99, jobs: 3 };
         let a = run_campaign(&m, Tool::Refine, &cfg);
         let b = run_campaign(&m, Tool::Refine, &cfg);
         assert_eq!(a.counts, b.counts);
         assert_eq!(a.total_cycles, b.total_cycles);
-        // Thread count must not change the result (trial-indexed streams).
-        let c = run_campaign(&m, Tool::Refine, &CampaignConfig { threads: 1, ..cfg });
+        // Jobs count must not change the result (trial-indexed streams).
+        let c = run_campaign(&m, Tool::Refine, &CampaignConfig { jobs: 1, ..cfg });
         assert_eq!(a.counts, c.counts);
     }
 
@@ -294,14 +295,24 @@ mod tests {
         let a = run_campaign(
             &m,
             Tool::Pinfi,
-            &CampaignConfig { trials: 60, seed: 1, threads: 2 },
+            &CampaignConfig { trials: 60, seed: 1, jobs: 2 },
         );
         let b = run_campaign(
             &m,
             Tool::Pinfi,
-            &CampaignConfig { trials: 60, seed: 2, threads: 2 },
+            &CampaignConfig { trials: 60, seed: 2, jobs: 2 },
         );
         assert_ne!((a.counts.crash, a.counts.soc), (b.counts.crash, b.counts.soc));
+    }
+
+    #[test]
+    fn program_salt_distinguishes_apps() {
+        assert_ne!(program_salt("CoMD"), program_salt("HPCCG-1.0"));
+        assert_eq!(program_salt("CoMD"), program_salt("CoMD"));
+        // Salted streams differ across apps for the same (seed, tool, trial).
+        let a = trial_stream(7, program_salt("CoMD"), Tool::Refine, 3);
+        let b = trial_stream(7, program_salt("HPCCG-1.0"), Tool::Refine, 3);
+        assert_ne!(a, b);
     }
 
     #[test]

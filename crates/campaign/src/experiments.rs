@@ -1,8 +1,10 @@
 //! Reproduction drivers for every table and figure of the paper's
 //! evaluation (the per-experiment index of DESIGN.md).
 
-use crate::campaign::{
-    run_campaign_observed, run_campaign_prepared, CampaignConfig, CampaignHooks, CampaignResult,
+use crate::campaign::{run_campaign_prepared, CampaignConfig, CampaignResult};
+use crate::engine::{
+    run_sweep, ArtifactCache, ArtifactSource, EngineCampaign, EngineConfig, EngineHooks,
+    EngineReport,
 };
 use crate::tools::{PreparedTool, Tool};
 use refine_stats::ci::Z_95;
@@ -10,6 +12,7 @@ use refine_stats::{chi2_contingency, proportion_ci, sample_size};
 use refine_telemetry::{Progress, TraceSink};
 use serde::{Deserialize, Serialize};
 use std::fmt::Write;
+use std::sync::Arc;
 
 /// Results of the three tools on one benchmark.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -67,8 +70,27 @@ pub fn run_suite_observed(
     cfg: &CampaignConfig,
     apps: Option<&[String]>,
     obs: &SuiteObserver<'_>,
-    mut progress: impl FnMut(&str, Tool),
+    progress: impl FnMut(&str, Tool),
 ) -> SuiteResults {
+    run_suite_sharded(cfg, apps, obs, progress).0
+}
+
+/// The sharded sweep driver behind every suite run: flattens all
+/// `(program, tool)` campaigns into one engine sweep (so trials from
+/// different campaigns interleave across the worker pool and each
+/// instrumented artifact is prepared exactly once via the
+/// [`ArtifactCache`]), and additionally returns the [`EngineReport`] with
+/// wall-clock, speedup and cache accounting.
+///
+/// `progress` is called once per campaign, in input order, as the sweep is
+/// assembled (campaign *completion* order is scheduling-dependent; results
+/// are always returned in input order).
+pub fn run_suite_sharded(
+    cfg: &CampaignConfig,
+    apps: Option<&[String]>,
+    obs: &SuiteObserver<'_>,
+    mut progress: impl FnMut(&str, Tool),
+) -> (SuiteResults, EngineReport) {
     let selected: Vec<_> = match apps {
         Some(names) => names
             .iter()
@@ -89,21 +111,32 @@ pub fn run_suite_observed(
         None => refine_benchmarks::all(),
     };
     assert!(!selected.is_empty(), "no benchmarks selected");
-    let mut out = Vec::with_capacity(selected.len());
-    for b in selected {
-        let module = b.module();
-        let mut results = Vec::with_capacity(3);
+
+    let mut specs = Vec::with_capacity(selected.len() * 3);
+    for b in &selected {
+        let module = Arc::new(b.module());
         for tool in Tool::all() {
             progress(b.name, tool);
-            let prepared = PreparedTool::prepare(&module, tool);
-            let live = Progress::new(cfg.trials, !obs.live_progress);
-            live.set_label(format!("{}/{}", b.name, tool.name()));
-            let hooks =
-                CampaignHooks { app: b.name, sink: obs.sink, progress: Some(&live) };
-            results.push(run_campaign_observed(&prepared, cfg, &hooks));
-            live.finish();
+            specs.push(EngineCampaign {
+                app: b.name.to_string(),
+                tool,
+                source: ArtifactSource::Module(Arc::clone(&module)),
+            });
         }
-        let mut it = results.into_iter();
+    }
+
+    let live = Progress::new(cfg.trials * specs.len() as u64, !obs.live_progress);
+    live.set_label(format!("sweep x{} apps", selected.len()));
+    let hooks = EngineHooks { sink: obs.sink, progress: Some(&live) };
+    let cache = ArtifactCache::new();
+    let report = run_sweep(&specs, &EngineConfig::from_campaign(cfg), &cache, &hooks);
+    live.finish();
+
+    let mut out = Vec::with_capacity(selected.len());
+    for (i, b) in selected.iter().enumerate() {
+        // Tool::all() order is (LLFI, REFINE, PINFI); results are in input
+        // order regardless of scheduling.
+        let mut it = report.results[i * 3..i * 3 + 3].iter().cloned();
         out.push(AppResults {
             name: b.name.to_string(),
             llfi: it.next().unwrap(),
@@ -111,7 +144,44 @@ pub fn run_suite_observed(
             pinfi: it.next().unwrap(),
         });
     }
-    SuiteResults { apps: out, trials: cfg.trials }
+    (SuiteResults { apps: out, trials: cfg.trials }, report)
+}
+
+/// Render a sweep's scheduling report: wall clock, effective speedup over
+/// serial, and artifact-cache accounting.
+pub fn engine_summary(report: &EngineReport) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "Engine — {} campaigns on {} worker(s): wall {:.2}s, busy {:.2}s, speedup {:.2}x",
+        report.stats.len(),
+        report.jobs,
+        report.wall_ns as f64 / 1e9,
+        report.busy_ns as f64 / 1e9,
+        report.speedup()
+    );
+    let c = &report.cache;
+    let _ = writeln!(
+        s,
+        "Artifact cache — {} hits / {} misses (hit rate {:.1}%), {:.2}s preparing",
+        c.hits,
+        c.misses,
+        100.0 * c.hit_rate(),
+        c.prepare_ns as f64 / 1e9
+    );
+    let _ = writeln!(s, "{:10} {:8} {:>10} {:>10} {:>9}", "app", "tool", "busy ms", "wall ms", "speedup");
+    for cs in &report.stats {
+        let _ = writeln!(
+            s,
+            "{:10} {:8} {:>10.1} {:>10.1} {:>8.2}x",
+            cs.app,
+            cs.tool,
+            cs.busy_ns as f64 / 1e6,
+            cs.wall_ns as f64 / 1e6,
+            cs.speedup
+        );
+    }
+    s
 }
 
 /// Figure 4: sampled outcome probabilities per app and tool, with 95%
@@ -451,7 +521,7 @@ mod tests {
     /// End-to-end mini-sweep on one real app with few trials.
     #[test]
     fn mini_suite_runs() {
-        let cfg = CampaignConfig { trials: 12, seed: 3, threads: 2 };
+        let cfg = CampaignConfig { trials: 12, seed: 3, jobs: 2 };
         let apps = vec!["CoMD".to_string()];
         let suite = run_suite(&cfg, Some(&apps), |_, _| {});
         assert_eq!(suite.apps.len(), 1);
@@ -460,5 +530,25 @@ mod tests {
         }
         // REFINE/PINFI population identity on the real benchmark.
         assert_eq!(suite.apps[0].refine.population, suite.apps[0].pinfi.population);
+    }
+
+    /// The sharded driver reports scheduling + cache accounting and its
+    /// results match the public suite API bit for bit.
+    #[test]
+    fn sharded_suite_reports_engine_accounting() {
+        let cfg = CampaignConfig { trials: 10, seed: 3, jobs: 4 };
+        let apps = vec!["CoMD".to_string()];
+        let (suite, report) =
+            run_suite_sharded(&cfg, Some(&apps), &SuiteObserver::default(), |_, _| {});
+        assert_eq!(report.stats.len(), 3, "one stat row per (app, tool)");
+        assert_eq!(report.cache.misses, 3, "each artifact prepared exactly once");
+        assert!(report.cache.hits + report.cache.misses >= 3);
+        assert!(report.wall_ns > 0 && report.busy_ns > 0);
+        assert!(engine_summary(&report).contains("Artifact cache"));
+        let again = run_suite(&cfg, Some(&apps), |_, _| {});
+        for (a, b) in suite.apps[0].by_tool().iter().zip(again.apps[0].by_tool()) {
+            assert_eq!(a.counts, b.counts);
+            assert_eq!(a.total_cycles, b.total_cycles);
+        }
     }
 }

@@ -105,6 +105,41 @@ impl FiOptions {
     pub fn func_selected(&self, name: &str) -> bool {
         self.fi_funcs.split(',').any(|pat| glob_match(pat.trim(), name))
     }
+
+    /// Stable fingerprint of this flag set, used to key the campaign
+    /// engine's instrumented-artifact cache: two option values with the
+    /// same fingerprint instrument a module identically.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = fnv1a(if self.fi { b"fi=true" } else { b"fi=false" });
+        h = fnv1a_continue(h, self.fi_funcs.as_bytes());
+        let class: &[u8] = match self.fi_instrs {
+            InstrClass::Stack => b"stack",
+            InstrClass::Arith => b"arithm",
+            InstrClass::Mem => b"mem",
+            InstrClass::All => b"all",
+        };
+        fnv1a_continue(h, class)
+    }
+}
+
+const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+
+/// FNV-1a over `bytes` from the standard offset basis.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    fnv1a_continue(FNV_OFFSET, bytes)
+}
+
+/// Continue an FNV-1a hash over further bytes (a `0x00` separator is mixed
+/// in first so that concatenated fields cannot collide by reassociation).
+pub fn fnv1a_continue(mut h: u64, bytes: &[u8]) -> u64 {
+    h ^= 0x00;
+    h = h.wrapping_mul(FNV_PRIME);
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
 }
 
 /// Minimal glob matcher: `*` matches any (possibly empty) substring.
@@ -124,6 +159,32 @@ pub fn glob_match(pat: &str, s: &str) -> bool {
 mod tests {
     use super::*;
     use refine_machine::{AluOp, Mem};
+
+    #[test]
+    fn fingerprints_distinguish_configurations() {
+        let base = FiOptions::all();
+        assert_eq!(base.fingerprint(), FiOptions::all().fingerprint());
+        let by_class = FiOptions { fi_instrs: InstrClass::Stack, ..FiOptions::all() };
+        let by_funcs = FiOptions { fi_funcs: "compute_*".into(), ..FiOptions::all() };
+        let off = FiOptions::default();
+        let prints = [
+            base.fingerprint(),
+            by_class.fingerprint(),
+            by_funcs.fingerprint(),
+            off.fingerprint(),
+        ];
+        for (i, a) in prints.iter().enumerate() {
+            for b in &prints[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+        // Field-separator mixing: reassociating bytes across fields must
+        // not collide.
+        assert_ne!(
+            fnv1a_continue(fnv1a(b"ab"), b"c"),
+            fnv1a_continue(fnv1a(b"a"), b"bc")
+        );
+    }
 
     #[test]
     fn glob_matching() {

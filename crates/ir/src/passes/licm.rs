@@ -82,12 +82,19 @@ fn run_once(f: &mut Function) -> usize {
             continue;
         }
 
+        // Deterministic block order: a HashSet walk here would make the
+        // hoist (and thus emitted-code) order depend on hasher state, and
+        // identical inputs must compile to identical binaries — the
+        // campaign engine's artifact-cache contract.
+        let mut body_order: Vec<BlockId> = body.iter().copied().collect();
+        body_order.sort_unstable_by_key(|b| b.index());
+
         // Collect hoistable instructions (fixpoint within the loop).
         let mut hoisted_vals: HashSet<ValueId> = HashSet::new();
         let mut moves: Vec<(BlockId, usize)> = Vec::new();
         loop {
             let mut changed = false;
-            for &bb in &body {
+            for &bb in &body_order {
                 for (ii, id) in f.blocks[bb.index()].instrs.iter().enumerate() {
                     if moves.contains(&(bb, ii)) {
                         continue;

@@ -23,7 +23,7 @@ use crate::instr::Operand;
 use std::collections::HashMap;
 
 /// Optimization level, mirroring `-O0`/`-O2` in the paper's build recipes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum OptLevel {
     /// No IR transformation at all.
     O0,

@@ -16,6 +16,16 @@ pub struct Symbol {
 }
 
 /// A complete linked binary for the M64 machine.
+///
+/// # Shared-image contract
+///
+/// A `Binary` is an **immutable compiled image**: [`crate::Machine::run`]
+/// only ever borrows it, copying the mutable segments (`data` becomes the
+/// run's private data segment, the stack is allocated fresh) into per-run
+/// [`crate::ArchState`]. Campaign engines therefore share one
+/// `Arc<Binary>` across every worker thread and every trial — thousands of
+/// concurrent fault-injection runs read the same image with no
+/// synchronization, and no trial can observe another trial's corruption.
 #[derive(Debug, Clone, Default)]
 pub struct Binary {
     /// Decoded text section.

@@ -588,6 +588,62 @@ mod tests {
         Machine::run(b, &RunConfig::default(), &mut NoFi, None)
     }
 
+    /// The shared-image contract the campaign engine relies on: a `Binary`
+    /// crosses threads freely behind an `Arc`.
+    #[test]
+    fn binary_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Binary>();
+        assert_send_sync::<std::sync::Arc<Binary>>();
+    }
+
+    /// Per-run state isolation: concurrent runs from one shared image are
+    /// bit-identical to serial runs, even when runs mutate their private
+    /// data segment — no trial can leak state into another.
+    #[test]
+    fn concurrent_runs_from_shared_image_match_serial() {
+        // Each run increments global word 1 and returns its final value;
+        // with a fresh data segment per run, every execution exits with 100.
+        let image = std::sync::Arc::new(bin(vec![
+            MInstr::MovRI { rd: 1, imm: GLOBAL_BASE as i64 },
+            MInstr::MovRI { rd: 0, imm: 0 },
+            // L2:
+            MInstr::Ld { rd: 2, mem: Mem::base_disp(1, 8) },
+            MInstr::AluI { op: AluOp::Add, rd: 2, ra: 2, imm: 1 },
+            MInstr::St { rs: 2, mem: Mem::base_disp(1, 8) },
+            MInstr::AluI { op: AluOp::Add, rd: 0, ra: 0, imm: 1 },
+            MInstr::CmpI { ra: 0, imm: 100 },
+            MInstr::Jcc { cc: Cc::Lt, target: 2 },
+            MInstr::Ld { rd: 0, mem: Mem::base_disp(1, 8) },
+            MInstr::Halt,
+        ]));
+        let serial = Machine::run(&image, &RunConfig::default(), &mut NoFi, None);
+        assert_eq!(serial.outcome, RunOutcome::Exit(100));
+        std::thread::scope(|scope| {
+            let workers: Vec<_> = (0..4)
+                .map(|_| {
+                    let image = std::sync::Arc::clone(&image);
+                    scope.spawn(move || {
+                        (0..8)
+                            .map(|_| {
+                                Machine::run(&image, &RunConfig::default(), &mut NoFi, None)
+                            })
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            for w in workers {
+                for r in w.join().unwrap() {
+                    assert_eq!(r.outcome, serial.outcome);
+                    assert_eq!(r.cycles, serial.cycles);
+                    assert_eq!(r.instrs_retired, serial.instrs_retired);
+                }
+            }
+        });
+        // The shared image itself is untouched.
+        assert_eq!(image.data[1], 0);
+    }
+
     #[test]
     fn halt_reports_exit_code() {
         let b = bin(vec![MInstr::MovRI { rd: 0, imm: 42 }, MInstr::Halt]);

@@ -30,10 +30,10 @@ pub mod progress;
 pub mod span;
 pub mod trace;
 
-pub use metrics::{registry, MetricsSnapshot, OutcomeKind};
+pub use metrics::{registry, ArtifactCacheSnapshot, MetricsSnapshot, OutcomeKind};
 pub use progress::Progress;
 pub use span::{Phase, PhaseTimer, Span};
-pub use trace::{TraceSink, TrialTrace};
+pub use trace::{TraceBuffer, TraceSink, TrialTrace};
 
 use std::sync::atomic::{AtomicBool, Ordering};
 

@@ -216,6 +216,13 @@ pub struct Registry {
     traps: Mutex<BTreeMap<String, u64>>,
     /// Trials that ran to completion (for rate computations).
     pub trials_total: Counter,
+    /// Instrumented-artifact cache hits (campaign engine).
+    pub artifact_cache_hits: Counter,
+    /// Instrumented-artifact cache misses, i.e. full compile+instrument+
+    /// profile pipelines actually executed.
+    pub artifact_cache_misses: Counter,
+    /// Wall-clock nanoseconds per artifact preparation (cache misses only).
+    pub artifact_prepare_ns: Histogram,
 }
 
 static REGISTRY: Registry = Registry::new();
@@ -234,6 +241,9 @@ impl Registry {
             outcomes: [Counter::new(), Counter::new(), Counter::new()],
             traps: Mutex::new(BTreeMap::new()),
             trials_total: Counter::new(),
+            artifact_cache_hits: Counter::new(),
+            artifact_cache_misses: Counter::new(),
+            artifact_prepare_ns: Histogram::new(),
         }
     }
 
@@ -278,6 +288,34 @@ impl Registry {
             },
             traps: self.traps.lock().clone(),
             phases: Phase::snapshot_all(),
+            artifact_cache: ArtifactCacheSnapshot {
+                hits: self.artifact_cache_hits.get(),
+                misses: self.artifact_cache_misses.get(),
+                prepare_ns: self.artifact_prepare_ns.snapshot(),
+            },
+        }
+    }
+}
+
+/// Serializable instrumented-artifact cache statistics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ArtifactCacheSnapshot {
+    /// Lookups served from an already-prepared artifact.
+    pub hits: u64,
+    /// Lookups that had to run the full compile+instrument+profile pipeline.
+    pub misses: u64,
+    /// Preparation wall-time distribution (misses only).
+    pub prepare_ns: HistogramSnapshot,
+}
+
+impl ArtifactCacheSnapshot {
+    /// Fraction of lookups served from cache (0 when no lookups happened).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
         }
     }
 }
@@ -308,6 +346,8 @@ pub struct MetricsSnapshot {
     pub traps: BTreeMap<String, u64>,
     /// Per-phase compile/FI-pass timings.
     pub phases: PhasesSnapshot,
+    /// Instrumented-artifact cache statistics.
+    pub artifact_cache: ArtifactCacheSnapshot,
 }
 
 #[cfg(test)]
@@ -410,6 +450,22 @@ mod tests {
         assert_eq!(s.traps.get("segfault"), Some(&2));
         assert_eq!(s.trial_latency_ns.count, 4);
         assert_eq!(r.trials_total.get(), 4);
+    }
+
+    #[test]
+    fn cache_counters_snapshot_and_hit_rate() {
+        let _g = crate::test_lock();
+        crate::enable();
+        let r = Registry::new();
+        r.artifact_cache_hits.add(9);
+        r.artifact_cache_misses.incr();
+        r.artifact_prepare_ns.record(1_000_000);
+        let s = r.snapshot();
+        assert_eq!(s.artifact_cache.hits, 9);
+        assert_eq!(s.artifact_cache.misses, 1);
+        assert!((s.artifact_cache.hit_rate() - 0.9).abs() < 1e-12);
+        assert_eq!(s.artifact_cache.prepare_ns.count, 1);
+        assert_eq!(ArtifactCacheSnapshot { hits: 0, misses: 0, prepare_ns: Histogram::new().snapshot() }.hit_rate(), 0.0);
     }
 
     #[test]

@@ -23,6 +23,10 @@ pub struct Progress {
     /// Milliseconds since `start` of the last printed line.
     last_print_ms: AtomicU64,
     quiet: bool,
+    /// Campaigns in the sweep (0 = single-campaign mode, not shown).
+    campaigns_total: AtomicU64,
+    /// Campaigns whose last trial has completed.
+    campaigns_done: AtomicU64,
 }
 
 impl Progress {
@@ -37,7 +41,23 @@ impl Progress {
             start: Instant::now(),
             last_print_ms: AtomicU64::new(0),
             quiet,
+            campaigns_total: AtomicU64::new(0),
+            campaigns_done: AtomicU64::new(0),
         }
+    }
+
+    /// Announce that this reporter covers a sweep of `n` campaigns; the
+    /// progress line then shows `done/n campaigns` alongside trial counts.
+    pub fn set_campaigns(&self, n: u64) {
+        self.campaigns_total.store(n, Ordering::Relaxed);
+    }
+
+    /// Record that one campaign of the sweep finished all its trials.
+    /// Workers of the sharded engine call this as each campaign drains, so
+    /// the aggregate line reflects cross-campaign completion, not worker
+    /// identity.
+    pub fn campaign_finished(&self) {
+        self.campaigns_done.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Set the `app/tool` prefix shown on the progress line.
@@ -83,10 +103,16 @@ impl Progress {
         let benign = self.outcomes[OutcomeKind::Benign as usize].load(Ordering::Relaxed);
         let pct = |n: u64| n as f64 * 100.0 / done.max(1) as f64;
         let label = self.label.lock().clone();
+        let ctotal = self.campaigns_total.load(Ordering::Relaxed);
+        let campaigns = if ctotal > 0 {
+            format!("  {}/{} campaigns", self.campaigns_done.load(Ordering::Relaxed), ctotal)
+        } else {
+            String::new()
+        };
         let mut err = std::io::stderr().lock();
         let _ = write!(
             err,
-            "\r\x1b[2K[{label}] {done}/{total} trials  {rate:.0}/s  eta {eta}  \
+            "\r\x1b[2K[{label}] {done}/{total} trials{campaigns}  {rate:.0}/s  eta {eta}  \
              crash {c:.0}% soc {s:.0}% benign {b:.0}%",
             total = self.total,
             c = pct(crash),

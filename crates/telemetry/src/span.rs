@@ -35,10 +35,13 @@ pub enum Phase {
     FiLlfiPass,
     /// PINFI probe setup / profiling instrumentation.
     FiPinfiProbe,
+    /// Full artifact preparation for a campaign: compile + instrument +
+    /// profiling run (a cache miss in the campaign engine).
+    PrepareArtifact,
 }
 
 /// All phases, in display order.
-pub const PHASES: [Phase; 11] = [
+pub const PHASES: [Phase; 12] = [
     Phase::Lex,
     Phase::Parse,
     Phase::LowerIr,
@@ -50,6 +53,7 @@ pub const PHASES: [Phase; 11] = [
     Phase::FiRefinePass,
     Phase::FiLlfiPass,
     Phase::FiPinfiProbe,
+    Phase::PrepareArtifact,
 ];
 
 struct PhaseCell {
@@ -79,6 +83,7 @@ impl Phase {
             Phase::FiRefinePass => "fi-refine-pass",
             Phase::FiLlfiPass => "fi-llfi-pass",
             Phase::FiPinfiProbe => "fi-pinfi-probe",
+            Phase::PrepareArtifact => "prepare-artifact",
         }
     }
 

@@ -10,6 +10,7 @@ use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::io::{BufWriter, Write};
 use std::path::Path;
+use std::sync::Arc;
 
 /// Provenance record for one fault-injection trial.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -63,6 +64,14 @@ impl TraceSink {
         }
     }
 
+    /// Buffer records in memory. The returned handle exposes the raw JSONL
+    /// bytes written so far (after [`TraceSink::flush`]); determinism tests
+    /// use it to compare trace record sets without touching the filesystem.
+    pub fn in_memory() -> (TraceSink, TraceBuffer) {
+        let buf = TraceBuffer(Arc::new(Mutex::new(Vec::new())));
+        (TraceSink::new(Box::new(buf.clone())), buf)
+    }
+
     /// Append one record as a JSON line. Serialization happens outside
     /// the lock; the lock covers only the buffered write.
     pub fn write(&self, t: &TrialTrace) -> std::io::Result<()> {
@@ -83,10 +92,35 @@ impl Drop for TraceSink {
     }
 }
 
-/// Parse a JSONL trace file back into records.
-pub fn read_jsonl(path: &Path) -> Result<Vec<TrialTrace>, String> {
-    let text = std::fs::read_to_string(path)
-        .map_err(|e| format!("{}: {e}", path.display()))?;
+/// Shared in-memory JSONL buffer behind a [`TraceSink`].
+#[derive(Clone, Default)]
+pub struct TraceBuffer(Arc<Mutex<Vec<u8>>>);
+
+impl TraceBuffer {
+    /// The JSONL text accumulated so far (flush the sink first).
+    pub fn text(&self) -> String {
+        String::from_utf8_lossy(&self.0.lock()).into_owned()
+    }
+
+    /// Parse the accumulated records.
+    pub fn records(&self) -> Result<Vec<TrialTrace>, String> {
+        read_jsonl_str(&self.text())
+    }
+}
+
+impl Write for TraceBuffer {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Parse JSONL trace text into records.
+pub fn read_jsonl_str(text: &str) -> Result<Vec<TrialTrace>, String> {
     text.lines()
         .enumerate()
         .filter(|(_, l)| !l.trim().is_empty())
@@ -94,6 +128,13 @@ pub fn read_jsonl(path: &Path) -> Result<Vec<TrialTrace>, String> {
             serde::json::from_str(l).map_err(|e| format!("line {}: {e}", i + 1))
         })
         .collect()
+}
+
+/// Parse a JSONL trace file back into records.
+pub fn read_jsonl(path: &Path) -> Result<Vec<TrialTrace>, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("{}: {e}", path.display()))?;
+    read_jsonl_str(&text)
 }
 
 /// Outcome tallies for one aggregation key.
@@ -235,6 +276,19 @@ mod tests {
         let back = read_jsonl(&path).unwrap();
         assert_eq!(back, records);
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn in_memory_sink_round_trips() {
+        let (sink, buf) = TraceSink::in_memory();
+        let records =
+            vec![rec("refine", Some("alu.add"), "crash", 0), rec("pinfi", None, "benign", 1)];
+        for r in &records {
+            sink.write(r).unwrap();
+        }
+        sink.flush().unwrap();
+        assert_eq!(buf.records().unwrap(), records);
+        assert_eq!(buf.text().lines().count(), 2);
     }
 
     #[test]

@@ -1,0 +1,269 @@
+//! Differential testing of the two executable semantics: for every MiniLang
+//! mini-kernel in the corpus, the IR interpreter (the oracle) and the
+//! compiled machine backend must produce identical golden output with FI
+//! disabled — at O0, at O2, and with each tool's instrumentation attached
+//! but never firing.
+
+use proptest::prelude::*;
+use refine_campaign::format_events;
+use refine_core::{compile_with_fi, FiOptions, ProfilingRt};
+use refine_ir::interp::{Interp, OutEvent as IrEvent};
+use refine_ir::passes::OptLevel;
+use refine_machine::{Machine, NoFi, OutEvent as MEvent, RunConfig, RunOutcome};
+
+fn ir_events_to_machine(ev: &[IrEvent]) -> Vec<MEvent> {
+    ev.iter()
+        .map(|e| match e {
+            IrEvent::I64(v) => MEvent::I64(*v),
+            IrEvent::F64(v) => MEvent::F64(*v),
+            IrEvent::Str(s) => MEvent::Str(s.clone()),
+        })
+        .collect()
+}
+
+/// Interpret `src`, then check the compiled binary (plain at O0/O2, then
+/// REFINE- and LLFI-instrumented with no fault firing) against the
+/// interpreter's exit code and output events.
+fn assert_differential(name: &str, src: &str) {
+    let m = refine_frontend::compile_source(src)
+        .unwrap_or_else(|e| panic!("{name}: frontend: {e:?}"));
+    refine_ir::verify::verify_module(&m).unwrap_or_else(|e| panic!("{name}: verify: {e}"));
+    let oracle = Interp::new(&m, 100_000_000)
+        .run()
+        .unwrap_or_else(|e| panic!("{name}: interp: {e}"));
+    let want = format_events(&ir_events_to_machine(&oracle.output));
+
+    for level in [OptLevel::O0, OptLevel::O2] {
+        let bin = refine_mir::compile(&m, level);
+        let r = Machine::run(&bin, &RunConfig::default(), &mut NoFi, None);
+        assert_eq!(
+            r.outcome,
+            RunOutcome::Exit(oracle.exit_code),
+            "{name} at {level:?}"
+        );
+        assert_eq!(format_events(&r.output), want, "{name} output at {level:?}");
+    }
+
+    // Instrumented but fault-free: the selector counts targets, nothing fires.
+    let refined = compile_with_fi(&m, OptLevel::O2, &FiOptions::all());
+    let mut rt = ProfilingRt::default();
+    let r = Machine::run(&refined.binary, &RunConfig::default(), &mut rt, None);
+    assert_eq!(r.outcome, RunOutcome::Exit(oracle.exit_code), "{name} (REFINE)");
+    assert_eq!(format_events(&r.output), want, "{name} (REFINE) output");
+
+    let (llfid, _) =
+        refine_llfi::compile_with_llfi(&m, OptLevel::O2, &refine_llfi::LlfiOptions::default());
+    let mut rt = ProfilingRt::default();
+    let r = Machine::run(&llfid.binary, &RunConfig::default(), &mut rt, None);
+    assert_eq!(r.outcome, RunOutcome::Exit(oracle.exit_code), "{name} (LLFI)");
+    assert_eq!(format_events(&r.output), want, "{name} (LLFI) output");
+}
+
+/// The fixed corpus: small kernels chosen to exercise semantics corners —
+/// signed division, float/int casts, boundary conditionals, call-heavy
+/// code, triangular loops, LCG arithmetic at i64 width.
+const CORPUS: [(&str, &str); 8] = [
+    (
+        "signed_arith",
+        "fn main() {\n\
+           let s = 0;\n\
+           for (i = -7; i < 9; i = i + 1) {\n\
+             let q = (i * 13 + 5) / 3;\n\
+             let r = (i * 11 - 4) % 5;\n\
+             s = s + q * 2 - r;\n\
+           }\n\
+           print_i(s);\n\
+           return 0;\n\
+         }",
+    ),
+    (
+        "float_reduction",
+        "fvar v[32];\n\
+         fn main() {\n\
+           for (i = 0; i < 32; i = i + 1) { v[i] = float(i * 3 + 1) * 0.37; }\n\
+           let s: float = 0.0;\n\
+           let p: float = 1.0;\n\
+           for (i = 0; i < 32; i = i + 1) {\n\
+             s = s + sqrt(v[i]);\n\
+             if (i % 7 == 0) { p = p * (1.0 + v[i] * 0.01); }\n\
+           }\n\
+           print_f(s);\n\
+           print_f(p);\n\
+           return 0;\n\
+         }",
+    ),
+    (
+        "stencil_boundary",
+        "fvar g[40];\n\
+         fn main() {\n\
+           for (i = 0; i < 40; i = i + 1) { g[i] = float(i % 9) * 0.5; }\n\
+           for (t = 0; t < 3; t = t + 1) {\n\
+             for (i = 0; i < 40; i = i + 1) {\n\
+               if (i == 0) { g[i] = g[i] * 0.5 + g[i+1] * 0.5; }\n\
+               else { if (i == 39) { g[i] = g[i] * 0.5 + g[i-1] * 0.5; }\n\
+                      else { g[i] = 0.5 * g[i] + 0.25 * (g[i-1] + g[i+1]); } }\n\
+             }\n\
+           }\n\
+           let s: float = 0.0;\n\
+           for (i = 0; i < 40; i = i + 1) { s = s + g[i]; }\n\
+           print_f(s);\n\
+           return 0;\n\
+         }",
+    ),
+    (
+        "call_chain",
+        "fn sq(x: float) : float { return x * x; }\n\
+         fn hyp(a: float, b: float) : float { return sqrt(sq(a) + sq(b)); }\n\
+         fn main() {\n\
+           let s: float = 0.0;\n\
+           for (i = 1; i < 20; i = i + 1) {\n\
+             s = s + hyp(float(i) * 0.5, float(20 - i) * 0.25);\n\
+           }\n\
+           print_f(s);\n\
+           return 0;\n\
+         }",
+    ),
+    (
+        "lcg_minmax",
+        "var seedg;\n\
+         fn lcg() { seedg = (seedg * 1103515245 + 12345) % 2147483648; return seedg; }\n\
+         fn main() {\n\
+           seedg = 7;\n\
+           let mx = 0;\n\
+           let mn = 2147483648;\n\
+           let sum = 0;\n\
+           for (i = 0; i < 64; i = i + 1) {\n\
+             let x = lcg() % 1000;\n\
+             if (x > mx) { mx = x; }\n\
+             if (x < mn) { mn = x; }\n\
+             sum = sum + x;\n\
+           }\n\
+           print_i(mx);\n\
+           print_i(mn);\n\
+           print_i(sum);\n\
+           return 0;\n\
+         }",
+    ),
+    (
+        "mixed_casts",
+        "fn main() {\n\
+           let acc: float = 0.0;\n\
+           let k = 0;\n\
+           for (i = 0; i < 25; i = i + 1) {\n\
+             let f: float = float(i) * 0.7 - 3.0;\n\
+             k = k + int(f);\n\
+             acc = acc + float(k) * 0.125;\n\
+           }\n\
+           print_i(k);\n\
+           print_f(acc);\n\
+           return 0;\n\
+         }",
+    ),
+    (
+        "triangular",
+        "var a[30];\n\
+         fn main() {\n\
+           for (i = 0; i < 30; i = i + 1) { a[i] = i * i - 7 * i + 3; }\n\
+           let s = 0;\n\
+           for (i = 0; i < 30; i = i + 1) {\n\
+             for (j = i; j < 30; j = j + 1) { s = s + a[i] * a[j] % 97; }\n\
+           }\n\
+           print_i(s);\n\
+           print_s(\"done\");\n\
+           return 0;\n\
+         }",
+    ),
+    (
+        "dot_and_norm",
+        "fvar x[24];\n\
+         fvar y[24];\n\
+         fn dot() : float {\n\
+           let d: float = 0.0;\n\
+           for (i = 0; i < 24; i = i + 1) { d = d + x[i] * y[i]; }\n\
+           return d;\n\
+         }\n\
+         fn main() {\n\
+           for (i = 0; i < 24; i = i + 1) {\n\
+             x[i] = float(i + 1) * 0.2;\n\
+             y[i] = float(24 - i) * 0.3;\n\
+           }\n\
+           print_f(dot());\n\
+           print_f(sqrt(dot()));\n\
+           return 0;\n\
+         }",
+    ),
+];
+
+#[test]
+fn corpus_interpreter_matches_machine() {
+    for (name, src) in CORPUS {
+        assert_differential(name, src);
+    }
+}
+
+/// Compilation is a pure function of the module: two compiles in one
+/// process emit identical text and identical FI site tables. The campaign
+/// engine's artifact cache (and cross-jobs determinism) relies on this —
+/// regression test for a hasher-order bug in LICM's hoist ordering.
+#[test]
+fn compilation_is_deterministic() {
+    for b in refine_benchmarks::all() {
+        let m = b.module();
+        let x = refine_mir::compile(&m, OptLevel::O2);
+        let y = refine_mir::compile(&m, OptLevel::O2);
+        assert_eq!(x.text, y.text, "{}: plain compile text differs", b.name);
+
+        let fx = compile_with_fi(&m, OptLevel::O2, &FiOptions::all());
+        let fy = compile_with_fi(&m, OptLevel::O2, &FiOptions::all());
+        assert_eq!(fx.binary.text, fy.binary.text, "{}: REFINE text differs", b.name);
+        assert_eq!(fx.sites.len(), fy.sites.len(), "{}: REFINE sites differ", b.name);
+
+        let (lx, sx) =
+            refine_llfi::compile_with_llfi(&m, OptLevel::O2, &refine_llfi::LlfiOptions::default());
+        let (ly, sy) =
+            refine_llfi::compile_with_llfi(&m, OptLevel::O2, &refine_llfi::LlfiOptions::default());
+        assert_eq!(lx.binary.text, ly.binary.text, "{}: LLFI text differs", b.name);
+        assert_eq!(sx.len(), sy.len(), "{}: LLFI sites differ", b.name);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The differential property over a generated kernel family: arbitrary
+    /// coefficients, loop bounds and seeds embedded into a template that
+    /// mixes integer and float paths. Interpreter and backend must agree
+    /// for every instance.
+    #[test]
+    fn prop_generated_kernels_match(
+        seed in 1i64..10_000,
+        mul in 1i64..50,
+        add in 0i64..100,
+        n in 4u64..28,
+        scale in 1u64..16,
+    ) {
+        let src = format!(
+            "var s;\n\
+             fvar acc[28];\n\
+             fn step() {{ s = (s * {mul} + {add}) % 65536; return s; }}\n\
+             fn main() {{\n\
+               s = {seed};\n\
+               let tot = 0;\n\
+               let f: float = 0.0;\n\
+               for (i = 0; i < {n}; i = i + 1) {{\n\
+                 let v = step() % 100;\n\
+                 tot = tot + v;\n\
+                 acc[i] = float(v * {scale}) * 0.125 + 1.0;\n\
+                 f = f + sqrt(acc[i]);\n\
+               }}\n\
+               if (tot % 2 == 0) {{ print_s(\"even\"); }}\n\
+               else {{ print_s(\"odd\"); }}\n\
+               print_i(tot);\n\
+               print_f(f);\n\
+               return 0;\n\
+             }}"
+        );
+        let name = format!("gen({seed},{mul},{add},{n},{scale})");
+        assert_differential(&name, &src);
+    }
+}

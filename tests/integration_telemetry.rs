@@ -15,7 +15,7 @@ const TRIALS: u64 = 32;
 fn traced_campaign_emits_one_record_per_trial() {
     refine_telemetry::enable();
     let module = refine_benchmarks::by_name("matmul").expect("matmul extra exists").module();
-    let cfg = CampaignConfig { trials: TRIALS, seed: 0xC0FFEE, threads: 2 };
+    let cfg = CampaignConfig { trials: TRIALS, seed: 0xC0FFEE, jobs: 2 };
 
     let dir = std::env::temp_dir().join("refine-telemetry-integration");
     std::fs::create_dir_all(&dir).unwrap();
@@ -118,21 +118,35 @@ fn traced_campaign_emits_one_record_per_trial() {
 
 #[test]
 fn untraced_campaign_is_unchanged_by_observers() {
-    // The observed runner with no hooks is the plain runner: identical
-    // counts and cycles for identical config, telemetry on or off.
+    // Attaching pure observers (sink, progress) must not change results:
+    // identical counts and cycles for an identical campaign identity. The
+    // app name is part of that identity — it salts the per-trial fault
+    // streams (`program_salt`) — so it is held fixed here.
     let module = refine_benchmarks::by_name("matmul").unwrap().module();
-    let cfg = CampaignConfig { trials: 16, seed: 9, threads: 2 };
+    let cfg = CampaignConfig { trials: 16, seed: 9, jobs: 2 };
     let prepared = PreparedTool::prepare(&module, Tool::Refine);
 
-    let plain = refine_campaign::campaign::run_campaign_prepared(&prepared, &cfg);
+    let bare = CampaignHooks { app: "matmul", sink: None, progress: None };
+    let plain = run_campaign_observed(&prepared, &cfg, &bare);
     let sink_dir = std::env::temp_dir().join("refine-telemetry-integration");
     std::fs::create_dir_all(&sink_dir).unwrap();
     let path = sink_dir.join(format!("trace-b-{}.jsonl", std::process::id()));
     let sink = TraceSink::to_file(&path).unwrap();
-    let hooks = CampaignHooks { app: "matmul", sink: Some(&sink), progress: None };
+    let progress = Progress::new(16, true);
+    let hooks = CampaignHooks { app: "matmul", sink: Some(&sink), progress: Some(&progress) };
     let observed = run_campaign_observed(&prepared, &cfg, &hooks);
 
     assert_eq!(plain.counts, observed.counts);
     assert_eq!(plain.total_cycles, observed.total_cycles);
+
+    // A different app name is a different campaign: independent fault
+    // streams even from the same prepared artifact and seed.
+    let other = CampaignHooks { app: "matmul-2", sink: None, progress: None };
+    let renamed = run_campaign_observed(&prepared, &cfg, &other);
+    assert_ne!(
+        (plain.counts, plain.total_cycles),
+        (renamed.counts, renamed.total_cycles),
+        "program salt must separate streams"
+    );
     std::fs::remove_file(&path).ok();
 }
