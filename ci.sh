@@ -26,4 +26,21 @@ if [ "$J1" != "$J4" ]; then
 fi
 echo "   identical tables at both job counts"
 
+echo "== checkpoint equivalence (default vs --no-checkpoint)"
+# Trial fast-forward must be invisible in every output: diff a short sweep
+# with checkpointing on (default) against the exact interpreter path.
+CK="$($EXP table6 --trials 12 --apps HPCCG-1.0,CoMD --seed 7 --jobs 4 --quiet 2>/dev/null)"
+NC="$($EXP table6 --trials 12 --apps HPCCG-1.0,CoMD --seed 7 --jobs 4 --quiet --no-checkpoint 2>/dev/null)"
+if [ "$CK" != "$NC" ]; then
+    echo "checkpoint equivalence FAILED: default and --no-checkpoint outputs differ" >&2
+    diff <(printf '%s\n' "$CK") <(printf '%s\n' "$NC") >&2 || true
+    exit 1
+fi
+echo "   identical tables with checkpointing on and off"
+
+echo "== trial_throughput bench (smoke)"
+# Fails on its own if the on/off sweeps mismatch; records trials/sec in
+# BENCH_trials.json.
+REFINE_SMOKE=1 cargo bench -q --offline -p refine-bench --bench trial_throughput
+
 echo "CI OK"

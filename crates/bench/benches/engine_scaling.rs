@@ -42,7 +42,7 @@ fn bench_engine_scaling(c: &mut Criterion) {
     g.sample_size(10);
     let mut baseline: Option<(u64, u64, u64)> = None;
     for jobs in [1usize, 2, 4, 8] {
-        let cfg = EngineConfig { trials: TRIALS, seed: SEED, jobs, batch: DEFAULT_BATCH };
+        let cfg = EngineConfig { trials: TRIALS, seed: SEED, jobs, batch: DEFAULT_BATCH, checkpoint: true };
         // One instrumented run for the record (and the determinism check).
         let report = run_sweep(&specs, &cfg, &ArtifactCache::new(), &EngineHooks::default());
         let crashes: u64 = report.results.iter().map(|r| r.counts.crash).sum();

@@ -1,0 +1,111 @@
+//! `trial_throughput` — trials/sec for a fixed short sweep with checkpoint
+//! fast-forward on vs off, tracking the perf trajectory of the trial loop.
+//!
+//! Artifacts are pre-prepared outside the timed region so the measurement
+//! isolates trial execution (prepare cost is `compile_overhead`'s subject;
+//! the checkpoint-store build rides inside prepare). The on/off sweeps must
+//! produce identical outcome tables — the bench doubles as an equivalence
+//! check and **fails** on any mismatch.
+//!
+//! Smoke mode (`REFINE_SMOKE=1`, used by ci.sh) shrinks the sweep; either
+//! way the result lands in `BENCH_trials.json` at the repo root:
+//! trials/sec for both modes and the on/off speedup.
+
+use refine_campaign::engine::{
+    run_sweep, ArtifactCache, ArtifactSource, EngineCampaign, EngineConfig, EngineHooks,
+    DEFAULT_BATCH,
+};
+use refine_campaign::tools::{PreparedTool, Tool};
+use refine_core::CheckpointOptions;
+use serde::Serialize;
+use std::sync::Arc;
+use std::time::Instant;
+
+fn specs(apps: &[&str], ckpt: &CheckpointOptions) -> Vec<EngineCampaign> {
+    apps.iter()
+        .flat_map(|app| {
+            let module = Arc::new(refine_benchmarks::by_name(app).unwrap().module());
+            Tool::all().into_iter().map(move |tool| EngineCampaign {
+                app: app.to_string(),
+                tool,
+                source: ArtifactSource::Prepared(Arc::new(PreparedTool::prepare_opt(
+                    &module, tool, ckpt,
+                ))),
+            })
+        })
+        .collect()
+}
+
+/// One comparable outcome row: (app, crash, soc, benign, total cycles).
+type OutcomeRow = (String, u64, u64, u64, u64);
+
+/// Run the sweep `reps` times and return (best trials/sec, outcome table).
+fn measure(specs: &[EngineCampaign], cfg: &EngineConfig, reps: usize) -> (f64, Vec<OutcomeRow>) {
+    let total = specs.len() as u64 * cfg.trials;
+    let mut best = 0.0f64;
+    let mut table = Vec::new();
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let report = run_sweep(specs, cfg, &ArtifactCache::new(), &EngineHooks::default());
+        let secs = t0.elapsed().as_secs_f64().max(1e-9);
+        best = best.max(total as f64 / secs);
+        table = specs
+            .iter()
+            .zip(&report.results)
+            .map(|(s, r)| {
+                (s.app.clone(), r.counts.crash, r.counts.soc, r.counts.benign, r.total_cycles)
+            })
+            .collect();
+    }
+    (best, table)
+}
+
+fn main() {
+    let smoke = std::env::var("REFINE_SMOKE").is_ok();
+    let apps: &[&str] = if smoke { &["HPCCG-1.0"] } else { &["HPCCG-1.0", "CoMD"] };
+    let trials = if smoke { 24 } else { 120 };
+    let reps = if smoke { 1 } else { 3 };
+    let cfg = EngineConfig {
+        trials,
+        seed: 0x7B15,
+        jobs: 1,
+        batch: DEFAULT_BATCH,
+        checkpoint: true,
+    };
+
+    let specs_on = specs(apps, &CheckpointOptions::default());
+    let specs_off = specs(apps, &CheckpointOptions::disabled());
+
+    let (tps_on, table_on) = measure(&specs_on, &cfg, reps);
+    let (tps_off, table_off) =
+        measure(&specs_off, &EngineConfig { checkpoint: false, ..cfg }, reps);
+
+    assert_eq!(
+        table_on, table_off,
+        "checkpoint on/off sweeps diverged — fast-forward equivalence broken"
+    );
+
+    let speedup = tps_on / tps_off.max(1e-9);
+    println!(
+        "[trial_throughput] apps={} trials={trials} jobs=1: \
+         on={tps_on:.0} trials/s, off={tps_off:.0} trials/s, speedup={speedup:.2}x",
+        apps.len(),
+    );
+
+    let report = serde::Value::Map(vec![
+        ("bench".to_string(), "trial_throughput".to_string().to_value()),
+        ("smoke".to_string(), smoke.to_value()),
+        ("apps".to_string(), (apps.len() as u64).to_value()),
+        ("tools".to_string(), 3u64.to_value()),
+        ("trials_per_campaign".to_string(), trials.to_value()),
+        ("jobs".to_string(), 1u64.to_value()),
+        ("trials_per_sec_checkpoint_on".to_string(), tps_on.to_value()),
+        ("trials_per_sec_checkpoint_off".to_string(), tps_off.to_value()),
+        ("speedup_on_vs_off".to_string(), speedup.to_value()),
+        ("results_identical".to_string(), true.to_value()),
+    ]);
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_trials.json");
+    std::fs::write(path, serde::json::to_string_pretty(&report) + "\n")
+        .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+    println!("[trial_throughput] wrote {path}");
+}

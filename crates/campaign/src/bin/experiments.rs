@@ -3,7 +3,7 @@
 //! ```text
 //! refine-experiments [fig4|table4|table5|table6|fig5|samples|ablation|all]
 //!                    [--trials N] [--seed S] [--jobs N] [--apps A,B,...]
-//!                    [--trace-out FILE] [--json] [--quiet]
+//!                    [--trace-out FILE] [--json] [--quiet] [--no-checkpoint]
 //! refine-experiments trace-summary FILE
 //! ```
 //!
@@ -27,7 +27,10 @@
 //!   speedup, cache hit rate) and a metrics snapshot (latency and
 //!   instruction-count histograms, trap-cause breakdown, per-phase compile
 //!   times) as JSON on stdout instead of the text tables;
-//! * `--quiet` suppresses the live progress lines.
+//! * `--quiet` suppresses the live progress lines;
+//! * `--no-checkpoint` disables golden-run checkpoint fast-forward for
+//!   trials (slower; results are bit-identical either way — this is the
+//!   escape hatch and the differential-testing oracle).
 
 use refine_campaign::campaign::CampaignConfig;
 use refine_campaign::engine::EngineReport;
@@ -41,19 +44,25 @@ fn usage() -> ! {
     eprintln!(
         "usage: refine-experiments [fig4|table4|table5|table6|fig5|samples|ablation|all] \
          [--trials N] [--seed S] [--jobs N] [--apps A,B,...] \
-         [--trace-out FILE] [--json] [--quiet]\n\
+         [--trace-out FILE] [--json] [--quiet] [--no-checkpoint]\n\
          \x20      refine-experiments trace-summary FILE"
     );
     std::process::exit(2);
 }
 
 /// The `--json` rendering of the engine's scheduling report.
+///
+/// `busy_total` is the raw per-trial clock sum (can exceed `jobs * wall_ns`
+/// under OS oversubscription); `busy_ns` and `speedup_capped` are capped at
+/// what `jobs` workers could physically execute in `wall_ns`.
 fn engine_to_value(report: &EngineReport) -> serde::Value {
     serde::Value::Map(vec![
         ("jobs".to_string(), (report.jobs as u64).to_value()),
         ("wall_ns".to_string(), report.wall_ns.to_value()),
-        ("busy_ns".to_string(), report.busy_ns.to_value()),
+        ("busy_ns".to_string(), report.busy_capped().to_value()),
+        ("busy_total".to_string(), report.busy_ns.to_value()),
         ("speedup".to_string(), report.speedup().to_value()),
+        ("speedup_capped".to_string(), report.speedup_capped().to_value()),
         ("cache_hit_rate".to_string(), report.cache.hit_rate().to_value()),
         ("cache".to_string(), report.cache.to_value()),
         ("campaigns".to_string(), report.stats.to_value()),
@@ -142,6 +151,7 @@ fn main() {
             }
             "--json" => json = true,
             "--quiet" => quiet = true,
+            "--no-checkpoint" => cfg.checkpoint = false,
             _ => usage(),
         }
         i += 1;

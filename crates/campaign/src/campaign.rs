@@ -77,11 +77,15 @@ pub struct CampaignConfig {
     /// Worker jobs (0 = all available cores). Any value produces identical
     /// outcome tables; it only changes wall-clock time.
     pub jobs: usize,
+    /// Golden-run checkpoint fast-forward for trials (`--no-checkpoint`
+    /// turns it off). On or off, campaigns are bit-identical; off only
+    /// costs wall-clock time.
+    pub checkpoint: bool,
 }
 
 impl Default for CampaignConfig {
     fn default() -> Self {
-        CampaignConfig { trials: 1068, seed: 0xB1ADE, jobs: 0 }
+        CampaignConfig { trials: 1068, seed: 0xB1ADE, jobs: 0, checkpoint: true }
     }
 }
 
@@ -144,14 +148,24 @@ pub(crate) fn execute_trial(
     trial: u64,
     sink: Option<&TraceSink>,
     progress: Option<&Progress>,
-) -> (Outcome, u64) {
+) -> (Outcome, u64, crate::tools::TrialFastStats) {
     let (s1, s2) = trial_stream(campaign_seed, app_salt, prepared.tool, trial);
     let mut rng = StdRng::seed_from_u64(s1);
     let target = rng.gen_range(1..=prepared.population);
     // Skip the clock read unless someone consumes it.
     let t0 = refine_telemetry::enabled().then(Instant::now);
-    let (r, log) = prepared.run_trial_traced(target, s2);
+    let t = prepared.run_trial_full(target, s2);
+    let (r, log, fast) = (t.result, t.log, t.fast);
     let outcome = classify(&prepared.golden, &r);
+    {
+        let reg = refine_telemetry::registry();
+        if fast.restored {
+            reg.checkpoint_restores.incr();
+            reg.checkpoint_skipped_instrs.record(fast.skipped_instrs);
+        } else {
+            reg.checkpoint_cold.incr();
+        }
+    }
 
     let trap = match r.outcome {
         RunOutcome::Trap(t) => Some(t.name()),
@@ -191,12 +205,17 @@ pub(crate) fn execute_trial(
             eprintln!("trace sink write failed: {e}");
         }
     }
-    (outcome, r.cycles)
+    (outcome, r.cycles, fast)
 }
 
 /// Run a full campaign of `cfg.trials` single-fault runs.
 pub fn run_campaign(module: &Module, tool: Tool, cfg: &CampaignConfig) -> CampaignResult {
-    let prepared = PreparedTool::prepare(module, tool);
+    let ckpt = if cfg.checkpoint {
+        refine_core::CheckpointOptions::default()
+    } else {
+        refine_core::CheckpointOptions::disabled()
+    };
+    let prepared = PreparedTool::prepare_opt(module, tool, &ckpt);
     run_campaign_prepared(&prepared, cfg)
 }
 
@@ -268,7 +287,7 @@ mod tests {
     #[test]
     fn campaign_totals_match_trials() {
         let m = tiny_module();
-        let cfg = CampaignConfig { trials: 40, seed: 7, jobs: 2 };
+        let cfg = CampaignConfig { trials: 40, seed: 7, jobs: 2, checkpoint: true };
         for tool in Tool::all() {
             let r = run_campaign(&m, tool, &cfg);
             assert_eq!(r.counts.total(), 40, "{}", tool.name());
@@ -279,7 +298,7 @@ mod tests {
     #[test]
     fn campaigns_are_reproducible() {
         let m = tiny_module();
-        let cfg = CampaignConfig { trials: 30, seed: 99, jobs: 3 };
+        let cfg = CampaignConfig { trials: 30, seed: 99, jobs: 3, checkpoint: true };
         let a = run_campaign(&m, Tool::Refine, &cfg);
         let b = run_campaign(&m, Tool::Refine, &cfg);
         assert_eq!(a.counts, b.counts);
@@ -295,12 +314,12 @@ mod tests {
         let a = run_campaign(
             &m,
             Tool::Pinfi,
-            &CampaignConfig { trials: 60, seed: 1, jobs: 2 },
+            &CampaignConfig { trials: 60, seed: 1, jobs: 2, checkpoint: true },
         );
         let b = run_campaign(
             &m,
             Tool::Pinfi,
-            &CampaignConfig { trials: 60, seed: 2, jobs: 2 },
+            &CampaignConfig { trials: 60, seed: 2, jobs: 2, checkpoint: true },
         );
         assert_ne!((a.counts.crash, a.counts.soc), (b.counts.crash, b.counts.soc));
     }

@@ -96,6 +96,10 @@ impl CacheStats {
     }
 }
 
+/// A cache slot: the prepared artifact plus the nanoseconds it took to
+/// build.
+type CacheSlot = Arc<OnceLock<(Arc<PreparedTool>, u64)>>;
+
 /// Concurrent demand-filled cache of prepared artifacts.
 ///
 /// Each key owns a `OnceLock` slot: the first worker to need an artifact
@@ -104,7 +108,7 @@ impl CacheStats {
 /// compile), and everyone afterwards shares the `Arc` immutably.
 #[derive(Default)]
 pub struct ArtifactCache {
-    slots: Mutex<HashMap<ArtifactKey, Arc<OnceLock<Arc<PreparedTool>>>>>,
+    slots: Mutex<HashMap<ArtifactKey, CacheSlot>>,
     hits: AtomicU64,
     misses: AtomicU64,
     prepare_ns: AtomicU64,
@@ -128,7 +132,7 @@ impl ArtifactCache {
             Arc::clone(slots.entry(key.clone()).or_default())
         };
         let mut built = false;
-        let artifact = slot.get_or_init(|| {
+        let (artifact, _) = slot.get_or_init(|| {
             built = true;
             let _span = Span::enter(Phase::PrepareArtifact);
             let t0 = Instant::now();
@@ -138,7 +142,7 @@ impl ArtifactCache {
             let reg = refine_telemetry::registry();
             reg.artifact_cache_misses.incr();
             reg.artifact_prepare_ns.record(ns);
-            prepared
+            (prepared, ns)
         });
         if built {
             self.misses.fetch_add(1, Ordering::Relaxed);
@@ -147,6 +151,17 @@ impl ArtifactCache {
             refine_telemetry::registry().artifact_cache_hits.incr();
         }
         Arc::clone(artifact)
+    }
+
+    /// Wall-clock nanoseconds this cache spent preparing `key` (`None`
+    /// when the key was never prepared here, e.g. pre-prepared artifacts
+    /// or a hit against an older cache generation).
+    pub fn prepare_ns_of(&self, key: &ArtifactKey) -> Option<u64> {
+        let slot = {
+            let slots = self.slots.lock();
+            Arc::clone(slots.get(key)?)
+        };
+        slot.get().map(|(_, ns)| *ns)
     }
 
     /// Artifacts currently resident.
@@ -200,12 +215,30 @@ pub struct EngineConfig {
     pub jobs: usize,
     /// Trial indices claimed per cursor fetch.
     pub batch: u64,
+    /// Capture golden-run checkpoints on artifact prepare and fast-forward
+    /// trials through them. Bit-identical either way.
+    pub checkpoint: bool,
 }
 
 impl EngineConfig {
     /// Engine parameters for a [`crate::campaign::CampaignConfig`].
     pub fn from_campaign(cfg: &crate::campaign::CampaignConfig) -> EngineConfig {
-        EngineConfig { trials: cfg.trials, seed: cfg.seed, jobs: cfg.jobs, batch: DEFAULT_BATCH }
+        EngineConfig {
+            trials: cfg.trials,
+            seed: cfg.seed,
+            jobs: cfg.jobs,
+            batch: DEFAULT_BATCH,
+            checkpoint: cfg.checkpoint,
+        }
+    }
+
+    /// The checkpointing knobs this engine config prepares artifacts with.
+    pub fn checkpoint_options(&self) -> refine_core::CheckpointOptions {
+        if self.checkpoint {
+            refine_core::CheckpointOptions::default()
+        } else {
+            refine_core::CheckpointOptions::disabled()
+        }
     }
 }
 
@@ -234,6 +267,14 @@ pub struct CampaignStats {
     /// `busy_ns / wall_ns`: the campaign's effective parallel speedup over
     /// running the same trials serially.
     pub speedup: f64,
+    /// Wall-clock milliseconds spent preparing this campaign's artifact
+    /// (compile + instrument + profile; 0.0 for cache hits and
+    /// pre-prepared artifacts).
+    pub prepare_ms: f64,
+    /// Trials that fast-forwarded from a golden-run checkpoint.
+    pub ckpt_restores: u64,
+    /// Dynamic instructions those restores skipped, summed.
+    pub ckpt_skipped_instrs: u64,
 }
 
 /// A completed sweep: per-campaign results plus scheduling accounting.
@@ -263,6 +304,25 @@ impl EngineReport {
             self.busy_ns as f64 / self.wall_ns as f64
         }
     }
+
+    /// `busy_ns` capped at `jobs * wall_ns`. Under OS oversubscription the
+    /// raw per-trial clock sums can exceed what `jobs` workers could have
+    /// executed in `wall_ns` (threads accrue wall time while descheduled),
+    /// which made the raw `speedup` overshoot the worker count. The cap is
+    /// the physical ceiling.
+    pub fn busy_capped(&self) -> u64 {
+        self.busy_ns.min((self.jobs as u64).saturating_mul(self.wall_ns))
+    }
+
+    /// Effective speedup from the capped busy time: never exceeds the
+    /// worker count. See [`EngineReport::busy_capped`].
+    pub fn speedup_capped(&self) -> f64 {
+        if self.wall_ns == 0 {
+            0.0
+        } else {
+            self.busy_capped() as f64 / self.wall_ns as f64
+        }
+    }
 }
 
 /// Per-campaign shared accumulators (workers only ever add).
@@ -275,6 +335,8 @@ struct CampaignAccum {
     done: AtomicU64,
     first_ns: AtomicU64,
     last_ns: AtomicU64,
+    restores: AtomicU64,
+    skipped_instrs: AtomicU64,
 }
 
 impl CampaignAccum {
@@ -288,6 +350,8 @@ impl CampaignAccum {
             done: AtomicU64::new(0),
             first_ns: AtomicU64::new(u64::MAX),
             last_ns: AtomicU64::new(0),
+            restores: AtomicU64::new(0),
+            skipped_instrs: AtomicU64::new(0),
         }
     }
 }
@@ -356,7 +420,11 @@ pub fn run_sweep(
                                     ArtifactSource::Prepared(p) => Arc::clone(p),
                                     ArtifactSource::Module(m) => cache
                                         .get_or_prepare(&keys[ci], || {
-                                            PreparedTool::prepare(m, campaigns[ci].tool)
+                                            PreparedTool::prepare_opt(
+                                                m,
+                                                campaigns[ci].tool,
+                                                &cfg.checkpoint_options(),
+                                            )
                                         }),
                                 };
                                 current = Some((ci, Arc::clone(&p)));
@@ -366,7 +434,7 @@ pub fn run_sweep(
                         let acc = &accums[ci];
                         acc.first_ns.fetch_min(elapsed_ns(), Ordering::Relaxed);
                         let t0 = Instant::now();
-                        let (outcome, cycles) = execute_trial(
+                        let (outcome, cycles, fast) = execute_trial(
                             &prepared,
                             &campaigns[ci].app,
                             salts[ci],
@@ -384,6 +452,10 @@ pub fn run_sweep(
                         .fetch_add(1, Ordering::Relaxed);
                         acc.cycles.fetch_add(cycles, Ordering::Relaxed);
                         acc.busy_ns.fetch_add(busy, Ordering::Relaxed);
+                        if fast.restored {
+                            acc.restores.fetch_add(1, Ordering::Relaxed);
+                            acc.skipped_instrs.fetch_add(fast.skipped_instrs, Ordering::Relaxed);
+                        }
                         acc.last_ns.fetch_max(elapsed_ns(), Ordering::Relaxed);
                         if acc.done.fetch_add(1, Ordering::Relaxed) + 1 == cfg.trials {
                             if let Some(p) = hooks.progress {
@@ -406,8 +478,14 @@ pub fn run_sweep(
             ArtifactSource::Prepared(p) => Arc::clone(p),
             // Every campaign ran at least one trial, so the slot is filled;
             // this lookup is a cache hit by construction.
-            ArtifactSource::Module(m) => {
-                cache.get_or_prepare(&keys[i], || PreparedTool::prepare(m, c.tool))
+            ArtifactSource::Module(m) => cache.get_or_prepare(&keys[i], || {
+                PreparedTool::prepare_opt(m, c.tool, &cfg.checkpoint_options())
+            }),
+        };
+        let prepare_ms = match &c.source {
+            ArtifactSource::Prepared(_) => 0.0,
+            ArtifactSource::Module(_) => {
+                cache.prepare_ns_of(&keys[i]).unwrap_or(0) as f64 / 1e6
             }
         };
         results.push(CampaignResult {
@@ -432,6 +510,9 @@ pub fn run_sweep(
             busy_ns: busy,
             wall_ns: wall,
             speedup: if wall == 0 { 0.0 } else { busy as f64 / wall as f64 },
+            prepare_ms,
+            ckpt_restores: acc.restores.load(Ordering::Relaxed),
+            ckpt_skipped_instrs: acc.skipped_instrs.load(Ordering::Relaxed),
         });
     }
 
@@ -475,7 +556,7 @@ mod tests {
     #[test]
     fn sweep_is_jobs_invariant() {
         let specs = sweep_specs();
-        let base = EngineConfig { trials: 24, seed: 42, jobs: 1, batch: 4 };
+        let base = EngineConfig { trials: 24, seed: 42, jobs: 1, batch: 4, checkpoint: true };
         let a = run_sweep(&specs, &base, &ArtifactCache::new(), &EngineHooks::default());
         for jobs in [2, 5, 8] {
             let cfg = EngineConfig { jobs, ..base };
@@ -492,7 +573,7 @@ mod tests {
     fn cache_prepares_each_artifact_once() {
         let specs = sweep_specs();
         let cache = ArtifactCache::new();
-        let cfg = EngineConfig { trials: 10, seed: 1, jobs: 4, batch: 2 };
+        let cfg = EngineConfig { trials: 10, seed: 1, jobs: 4, batch: 2, checkpoint: true };
         let report = run_sweep(&specs, &cfg, &cache, &EngineHooks::default());
         assert_eq!(cache.len(), 3, "one artifact per (program, tool)");
         assert_eq!(report.cache.misses, 3);
@@ -509,7 +590,7 @@ mod tests {
     #[test]
     fn report_accounts_wall_and_busy_time() {
         let specs = sweep_specs();
-        let cfg = EngineConfig { trials: 8, seed: 9, jobs: 2, batch: 3 };
+        let cfg = EngineConfig { trials: 8, seed: 9, jobs: 2, batch: 3, checkpoint: true };
         let r = run_sweep(&specs, &cfg, &ArtifactCache::new(), &EngineHooks::default());
         assert_eq!(r.jobs, 2);
         assert!(r.wall_ns > 0);

@@ -157,8 +157,8 @@ pub fn engine_summary(report: &EngineReport) -> String {
         report.stats.len(),
         report.jobs,
         report.wall_ns as f64 / 1e9,
-        report.busy_ns as f64 / 1e9,
-        report.speedup()
+        report.busy_capped() as f64 / 1e9,
+        report.speedup_capped()
     );
     let c = &report.cache;
     let _ = writeln!(
@@ -169,16 +169,22 @@ pub fn engine_summary(report: &EngineReport) -> String {
         100.0 * c.hit_rate(),
         c.prepare_ns as f64 / 1e9
     );
-    let _ = writeln!(s, "{:10} {:8} {:>10} {:>10} {:>9}", "app", "tool", "busy ms", "wall ms", "speedup");
+    let _ = writeln!(
+        s,
+        "{:10} {:8} {:>10} {:>10} {:>9} {:>11} {:>9}",
+        "app", "tool", "busy ms", "wall ms", "speedup", "prepare ms", "restores"
+    );
     for cs in &report.stats {
         let _ = writeln!(
             s,
-            "{:10} {:8} {:>10.1} {:>10.1} {:>8.2}x",
+            "{:10} {:8} {:>10.1} {:>10.1} {:>8.2}x {:>11.1} {:>9}",
             cs.app,
             cs.tool,
             cs.busy_ns as f64 / 1e6,
             cs.wall_ns as f64 / 1e6,
-            cs.speedup
+            cs.speedup,
+            cs.prepare_ms,
+            cs.ckpt_restores
         );
     }
     s
@@ -521,7 +527,7 @@ mod tests {
     /// End-to-end mini-sweep on one real app with few trials.
     #[test]
     fn mini_suite_runs() {
-        let cfg = CampaignConfig { trials: 12, seed: 3, jobs: 2 };
+        let cfg = CampaignConfig { trials: 12, seed: 3, jobs: 2, checkpoint: true };
         let apps = vec!["CoMD".to_string()];
         let suite = run_suite(&cfg, Some(&apps), |_, _| {});
         assert_eq!(suite.apps.len(), 1);
@@ -536,7 +542,7 @@ mod tests {
     /// results match the public suite API bit for bit.
     #[test]
     fn sharded_suite_reports_engine_accounting() {
-        let cfg = CampaignConfig { trials: 10, seed: 3, jobs: 4 };
+        let cfg = CampaignConfig { trials: 10, seed: 3, jobs: 4, checkpoint: true };
         let apps = vec!["CoMD".to_string()];
         let (suite, report) =
             run_suite_sharded(&cfg, Some(&apps), &SuiteObserver::default(), |_, _| {});

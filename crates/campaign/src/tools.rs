@@ -1,13 +1,17 @@
 //! A uniform interface over the three fault injectors.
 
 use crate::classify::Golden;
-use refine_core::{FaultRecord, FiOptions, InjectingRt, ProfilingRt};
+use refine_core::{CheckpointOptions, FaultRecord, FiOptions, InjectingRt, ProfilingRt};
 use refine_ir::passes::OptLevel;
 use refine_ir::Module;
-use refine_machine::{Binary, Machine, NoFi, RunConfig, RunResult};
-use refine_pinfi::{PinfiInjector, PinfiProfiler};
+use refine_machine::{
+    Binary, CheckpointConfig, CheckpointStore, FiRuntime, Machine, NoFi, Predecoded, Probe,
+    QuiescentRt, RunConfig, RunResult,
+};
+use refine_pinfi::{PinfiInjector, PinfiProfiler, PIN_OVERHEAD_CYCLES};
 use refine_telemetry::{Phase, Span};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// The three tools compared in the paper.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -60,6 +64,58 @@ pub struct PreparedTool {
     /// site table — its opcodes resolve from the binary text at the
     /// faulting pc, see [`PreparedTool::site_opcode`]).
     pub site_opcodes: HashMap<u64, String>,
+    /// Golden-run checkpoints + predecoded text for trial fast-forward
+    /// (`None` with `--no-checkpoint`). Shared read-only across workers.
+    pub fastpath: Option<Arc<FastPath>>,
+}
+
+/// The immutable fast-forward companion of a prepared binary: the
+/// profiling run's [`CheckpointStore`] and the [`Predecoded`] instruction
+/// stream for the quiescent inner loop.
+#[derive(Debug)]
+pub struct FastPath {
+    /// Snapshots of the (quiescent) profiling run.
+    pub store: CheckpointStore,
+    /// Flattened per-pc instruction stream.
+    pub pre: Predecoded,
+}
+
+/// How one trial actually executed, for engine accounting.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TrialFastStats {
+    /// The trial restored machine state from a golden-run checkpoint.
+    pub restored: bool,
+    /// Dynamic instructions skipped by that restore (0 when cold).
+    pub skipped_instrs: u64,
+}
+
+/// A completed trial with its fault log and fast-forward accounting.
+#[derive(Debug, Clone)]
+pub struct TrialRun {
+    /// The machine run result.
+    pub result: RunResult,
+    /// Fault log entry, when the injection fired.
+    pub log: Option<FaultRecord>,
+    /// Checkpoint fast-forward accounting.
+    pub fast: TrialFastStats,
+}
+
+/// Run the profiling phase, capturing checkpoints when `ckpt` is set.
+fn profile_run(
+    binary: &Binary,
+    cfg: &RunConfig,
+    rt: &mut dyn FiRuntime,
+    probe: Option<&mut dyn Probe>,
+    ckpt: Option<CheckpointConfig>,
+) -> (RunResult, Option<CheckpointStore>) {
+    match ckpt {
+        Some(cc) => {
+            let _s = Span::enter(Phase::CheckpointBuild);
+            let (r, store) = Machine::run_checkpointed(binary, cfg, rt, probe, &cc);
+            (r, Some(store))
+        }
+        None => (Machine::run(binary, cfg, rt, probe), None),
+    }
 }
 
 /// First token of a disassembly line (`"add r1, r2, r3"` -> `"add"`).
@@ -68,18 +124,26 @@ fn asm_mnemonic(asm: &str) -> String {
 }
 
 impl PreparedTool {
-    /// Compile/attach `tool` to the program and run the profiling phase.
+    /// Compile/attach `tool` to the program and run the profiling phase,
+    /// capturing golden-run checkpoints (the default configuration).
     pub fn prepare(module: &Module, tool: Tool) -> PreparedTool {
+        Self::prepare_opt(module, tool, &CheckpointOptions::default())
+    }
+
+    /// [`PreparedTool::prepare`] with explicit checkpointing knobs
+    /// (`CheckpointOptions::disabled()` is the `--no-checkpoint` path).
+    pub fn prepare_opt(module: &Module, tool: Tool, ckpt: &CheckpointOptions) -> PreparedTool {
         let stack_words = 1 << 16;
         let cfg = RunConfig { max_cycles: u64::MAX / 4, stack_words };
-        let (binary, population, profile, site_opcodes) = match tool {
+        let mcfg = ckpt.enabled.then(|| ckpt.machine_config());
+        let (binary, population, profile, store, site_opcodes) = match tool {
             Tool::Refine => {
                 let c = refine_core::compile_with_fi(module, OptLevel::O2, &FiOptions::all());
                 let opcodes =
                     c.sites.iter().map(|s| (s.id, asm_mnemonic(&s.asm))).collect();
                 let mut rt = ProfilingRt::default();
-                let r = Machine::run(&c.binary, &cfg, &mut rt, None);
-                (c.binary, rt.count, r, opcodes)
+                let (r, store) = profile_run(&c.binary, &cfg, &mut rt, None, mcfg);
+                (c.binary, rt.count, r, store, opcodes)
             }
             Tool::Llfi => {
                 let (c, sites) = refine_llfi::compile_with_llfi(
@@ -89,19 +153,21 @@ impl PreparedTool {
                 );
                 let opcodes = sites.iter().map(|s| (s.id, s.opcode.clone())).collect();
                 let mut rt = ProfilingRt::default();
-                let r = Machine::run(&c.binary, &cfg, &mut rt, None);
-                (c.binary, rt.count, r, opcodes)
+                let (r, store) = profile_run(&c.binary, &cfg, &mut rt, None, mcfg);
+                (c.binary, rt.count, r, store, opcodes)
             }
             Tool::Pinfi => {
                 let c = refine_core::compile_with_fi(module, OptLevel::O2, &FiOptions::default());
                 let _s = Span::enter(Phase::FiPinfiProbe);
                 let mut probe = PinfiProfiler::default();
-                let r = Machine::run(&c.binary, &cfg, &mut NoFi, Some(&mut probe));
-                (c.binary, probe.count, r, HashMap::new())
+                let (r, store) = profile_run(&c.binary, &cfg, &mut NoFi, Some(&mut probe), mcfg);
+                (c.binary, probe.count, r, store, HashMap::new())
             }
         };
         assert!(population > 0, "{}: empty FI population", tool.name());
         let golden = Golden::from_run(&profile);
+        let fastpath =
+            store.map(|store| Arc::new(FastPath { pre: Predecoded::new(&binary), store }));
         PreparedTool {
             tool,
             binary,
@@ -111,6 +177,7 @@ impl PreparedTool {
             timeout_cycles: profile.cycles.saturating_mul(10),
             stack_words,
             site_opcodes,
+            fastpath,
         }
     }
 
@@ -122,10 +189,14 @@ impl PreparedTool {
         let cfg = RunConfig { max_cycles: u64::MAX / 4, stack_words };
         let c = refine_core::compile_with_fi(module, OptLevel::O2, opts);
         let site_opcodes = c.sites.iter().map(|s| (s.id, asm_mnemonic(&s.asm))).collect();
+        let ckpt = CheckpointOptions::default();
         let mut rt = ProfilingRt::default();
-        let r = Machine::run(&c.binary, &cfg, &mut rt, None);
+        let (r, store) =
+            profile_run(&c.binary, &cfg, &mut rt, None, ckpt.enabled.then(|| ckpt.machine_config()));
         assert!(rt.count > 0, "selected FI population is empty");
         let golden = Golden::from_run(&r);
+        let fastpath =
+            store.map(|store| Arc::new(FastPath { pre: Predecoded::new(&c.binary), store }));
         PreparedTool {
             tool: Tool::Refine,
             binary: c.binary,
@@ -135,6 +206,7 @@ impl PreparedTool {
             timeout_cycles: r.cycles.saturating_mul(10),
             stack_words,
             site_opcodes,
+            fastpath,
         }
     }
 
@@ -147,17 +219,84 @@ impl PreparedTool {
     /// Like [`PreparedTool::run_trial`], but also returns the fault log
     /// entry (when the injection fired) for provenance records.
     pub fn run_trial_traced(&self, target: u64, seed: u64) -> (RunResult, Option<FaultRecord>) {
+        let t = self.run_trial_full(target, seed);
+        (t.result, t.log)
+    }
+
+    /// Full trial execution: fast-forwards through the quiescent prefix via
+    /// the golden-run checkpoint store + predecoded loop when available,
+    /// falling back to [`PreparedTool::run_trial_exact`] otherwise. The two
+    /// paths are bit-identical (outcome, output, cycles, fault log) — the
+    /// quiescent prefix of an injection run is observationally equal to the
+    /// profiling run, so a profiling-run snapshot is an exact restore point
+    /// for any trial whose target event lies beyond it.
+    pub fn run_trial_full(&self, target: u64, seed: u64) -> TrialRun {
+        let Some(fp) = self.fastpath.as_deref() else {
+            return self.run_trial_exact(target, seed);
+        };
+        let cfg = RunConfig { max_cycles: self.timeout_cycles, stack_words: self.stack_words };
+        let (mut m, count0, fast) = {
+            let _s = Span::enter(Phase::CheckpointRestore);
+            match fp.store.nearest_below(target) {
+                Some(ck) => (
+                    Machine::resume(&self.binary, &cfg, ck),
+                    ck.fi_count,
+                    TrialFastStats { restored: true, skipped_instrs: ck.retired },
+                ),
+                None => (Machine::new(&self.binary, &cfg), 0, TrialFastStats::default()),
+            }
+        };
+        // Stop the fast loop one FI event short of the target so the exact
+        // loop — with the real injector attached — handles the firing event
+        // itself (and everything after it).
+        let stop = target.saturating_sub(1);
+        match self.tool {
+            Tool::Refine | Tool::Llfi => {
+                let mut q = QuiescentRt::starting_at(count0);
+                if let Some(outcome) = m.run_quiescent_calls(&fp.pre, &mut q, stop, cfg.max_cycles)
+                {
+                    // Program ended (or timed out) before the target event:
+                    // the injector would never have fired.
+                    return TrialRun { result: m.into_result(outcome), log: None, fast };
+                }
+                let mut rt = InjectingRt::resume(target, seed, q.count);
+                let result = m.finish_run(cfg.max_cycles, &mut rt, None);
+                TrialRun { result, log: rt.log, fast }
+            }
+            Tool::Pinfi => {
+                let mut count = count0;
+                if let Some(outcome) = m.run_quiescent_probed(
+                    &fp.pre,
+                    PIN_OVERHEAD_CYCLES,
+                    &mut count,
+                    stop,
+                    cfg.max_cycles,
+                ) {
+                    return TrialRun { result: m.into_result(outcome), log: None, fast };
+                }
+                let mut probe = PinfiInjector::resume(target, seed, count);
+                let result = m.finish_run(cfg.max_cycles, &mut NoFi, Some(&mut probe));
+                TrialRun { result, log: probe.log, fast }
+            }
+        }
+    }
+
+    /// Reference trial execution: full interpretation from the initial
+    /// state, no checkpoint restore and no predecoded fast loop. This is
+    /// the `--no-checkpoint` path and the oracle the differential tests
+    /// compare [`PreparedTool::run_trial_full`] against.
+    pub fn run_trial_exact(&self, target: u64, seed: u64) -> TrialRun {
         let cfg = RunConfig { max_cycles: self.timeout_cycles, stack_words: self.stack_words };
         match self.tool {
             Tool::Refine | Tool::Llfi => {
                 let mut rt = InjectingRt::new(target, seed);
-                let r = Machine::run(&self.binary, &cfg, &mut rt, None);
-                (r, rt.log)
+                let result = Machine::run(&self.binary, &cfg, &mut rt, None);
+                TrialRun { result, log: rt.log, fast: TrialFastStats::default() }
             }
             Tool::Pinfi => {
                 let mut probe = PinfiInjector::new(target, seed);
-                let r = Machine::run(&self.binary, &cfg, &mut NoFi, Some(&mut probe));
-                (r, probe.log)
+                let result = Machine::run(&self.binary, &cfg, &mut NoFi, Some(&mut probe));
+                TrialRun { result, log: probe.log, fast: TrialFastStats::default() }
             }
         }
     }

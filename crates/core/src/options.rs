@@ -122,6 +122,46 @@ impl FiOptions {
     }
 }
 
+/// Golden-run checkpointing knobs for trial fast-forward.
+///
+/// Deliberately *not* part of any instrumentation fingerprint: checkpoints
+/// never change observable trial behavior (outcomes, fault logs, cycles,
+/// output are bit-identical with checkpointing on or off), only per-trial
+/// wall-clock cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckpointOptions {
+    /// Capture checkpoints during profiling and fast-forward trials from
+    /// them (`--no-checkpoint` clears this).
+    pub enabled: bool,
+    /// Initial snapshot interval in retired instructions.
+    pub interval: u64,
+    /// Snapshot count cap; reaching it thins to every other snapshot and
+    /// doubles the interval.
+    pub max_checkpoints: usize,
+}
+
+impl Default for CheckpointOptions {
+    fn default() -> Self {
+        let d = refine_machine::CheckpointConfig::default();
+        CheckpointOptions { enabled: true, interval: d.interval, max_checkpoints: d.max_checkpoints }
+    }
+}
+
+impl CheckpointOptions {
+    /// Checkpointing off — the escape hatch and the differential baseline.
+    pub fn disabled() -> Self {
+        CheckpointOptions { enabled: false, ..Self::default() }
+    }
+
+    /// The machine-layer capture configuration.
+    pub fn machine_config(&self) -> refine_machine::CheckpointConfig {
+        refine_machine::CheckpointConfig {
+            interval: self.interval,
+            max_checkpoints: self.max_checkpoints,
+        }
+    }
+}
+
 const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
 const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
 

@@ -52,6 +52,10 @@ impl FiRuntime for ProfilingRt {
         self.count += 1;
         value
     }
+
+    fn fi_count(&self) -> u64 {
+        self.count
+    }
 }
 
 /// Injection-phase library implementing the single-bit-flip fault model.
@@ -82,6 +86,15 @@ impl InjectingRt {
     /// True once the fault has been injected.
     pub fn fired(&self) -> bool {
         self.log.is_some()
+    }
+
+    /// An injector resuming after a checkpoint restore: behaves exactly as
+    /// [`InjectingRt::new`] would after `counted` quiescent events, because
+    /// the RNG is seeded fresh from `seed` and is consumed only when the
+    /// fault fires (events before `target` never touch it).
+    pub fn resume(target: u64, seed: u64, counted: u64) -> Self {
+        debug_assert!(counted < target, "restore point must precede the target event");
+        InjectingRt { count: counted, ..InjectingRt::new(target, seed) }
     }
 }
 
@@ -117,6 +130,10 @@ impl FiRuntime for InjectingRt {
         let bit = self.rng.gen_range(0..bits.max(1));
         self.log = Some(FaultRecord { site, dynamic_index: self.count, operand: 0, bit });
         value ^ 1u64.checked_shl(bit).unwrap_or(0)
+    }
+
+    fn fi_count(&self) -> u64 {
+        self.count
     }
 }
 

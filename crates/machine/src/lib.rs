@@ -29,6 +29,7 @@
 //!   injection control library of REFINE/LLFI.
 
 pub mod binary;
+pub mod checkpoint;
 pub mod encode;
 pub mod isa;
 pub mod machine;
@@ -36,7 +37,8 @@ pub mod probe;
 pub mod rt;
 
 pub use binary::{Binary, Symbol};
+pub use checkpoint::{Checkpoint, CheckpointConfig, CheckpointStore, Predecoded};
 pub use isa::{fi_outputs, AluOp, Cc, CvtKind, FAluOp, MInstr, Mem, Reg, RtFunc, FLAGS_BITS};
 pub use machine::{ArchState, Machine, OutEvent, RunConfig, RunOutcome, RunResult, Tracer, Trap};
 pub use probe::{Probe, ProbeAction};
-pub use rt::{FiRuntime, NoFi};
+pub use rt::{FiRuntime, NoFi, QuiescentRt};

@@ -1,9 +1,13 @@
 //! The M64 execution engine.
 
 use crate::binary::Binary;
+use crate::checkpoint::{
+    apply_pages, diff_pages, Checkpoint, CheckpointBuilder, CheckpointConfig, CheckpointStore,
+    Predecoded,
+};
 use crate::isa::{fi_outputs, flags, AluOp, CvtKind, FAluOp, MInstr, Mem, Reg, RtFunc, SP};
 use crate::probe::{Probe, ProbeAction};
-use crate::rt::{pack, FiRuntime};
+use crate::rt::{pack, FiRuntime, NoFi, QuiescentRt};
 
 /// Byte address where the data segment (globals) is mapped. Matches the IR
 /// interpreter's layout so pointer arithmetic behaves identically.
@@ -183,25 +187,123 @@ impl<'a> Machine<'a> {
         binary: &'a Binary,
         cfg: &RunConfig,
         rt: &mut dyn FiRuntime,
-        mut probe: Option<&mut dyn Probe>,
-        mut tracer: Option<&mut dyn Tracer>,
+        probe: Option<&mut dyn Probe>,
+        tracer: Option<&mut dyn Tracer>,
     ) -> RunResult {
         let mut m = Machine::new(binary, cfg);
-        let outcome = loop {
-            if m.cycles >= cfg.max_cycles {
+        let outcome = m.exec_loop(cfg.max_cycles, rt, probe, tracer, None);
+        m.into_result(outcome)
+    }
+
+    /// Like [`Machine::run`], additionally capturing full-state snapshots
+    /// every `ckpt.interval` retired instructions, stamped with the current
+    /// FI-event count (from the probe when one is attached, else from the
+    /// runtime's [`FiRuntime::fi_count`]).
+    ///
+    /// Only meaningful for *quiescent* runs (profiling: nothing ever
+    /// fires), whose state at every point is by construction identical to
+    /// the pre-injection prefix of every trial.
+    pub fn run_checkpointed(
+        binary: &'a Binary,
+        cfg: &RunConfig,
+        rt: &mut dyn FiRuntime,
+        probe: Option<&mut dyn Probe>,
+        ckpt: &CheckpointConfig,
+    ) -> (RunResult, CheckpointStore) {
+        let mut builder = CheckpointBuilder::new(ckpt);
+        let mut m = Machine::new(binary, cfg);
+        let outcome = m.exec_loop(cfg.max_cycles, rt, probe, None, Some(&mut builder));
+        (m.into_result(outcome), builder.finish(cfg.stack_words))
+    }
+
+    /// Reconstruct the machine exactly as it was when `ck` was captured
+    /// from a profiling run of `binary` (same binary, same
+    /// `cfg.stack_words`).
+    pub fn resume(binary: &'a Binary, cfg: &RunConfig, ck: &Checkpoint) -> Self {
+        let mut m = Machine::new(binary, cfg);
+        m.regs = ck.regs;
+        m.fregs = ck.fregs;
+        m.flags = ck.flags;
+        m.pc = ck.pc;
+        m.cycles = ck.cycles;
+        m.instrs_retired = ck.retired;
+        m.output = ck.output.clone();
+        apply_pages(&ck.data_pages, &mut m.data);
+        apply_pages(&ck.stack_pages, &mut m.stack);
+        m
+    }
+
+    /// Capture the current architectural state as a [`Checkpoint`] stamped
+    /// with `fi_count` (the FI-event counter value at this point).
+    pub fn snapshot(&self, fi_count: u64) -> Checkpoint {
+        Checkpoint {
+            regs: self.regs,
+            fregs: self.fregs,
+            flags: self.flags,
+            pc: self.pc,
+            cycles: self.cycles,
+            retired: self.instrs_retired,
+            fi_count,
+            output: self.output.clone(),
+            data_pages: diff_pages(&self.data, Some(&self.binary.data)),
+            stack_pages: diff_pages(&self.stack, None),
+        }
+    }
+
+    /// Run this machine to completion with the exact interpreter loop
+    /// (virtual runtime dispatch, probe bookkeeping) — the continuation
+    /// after a checkpoint restore and quiescent fast-forward.
+    pub fn finish_run(
+        mut self,
+        max_cycles: u64,
+        rt: &mut dyn FiRuntime,
+        probe: Option<&mut dyn Probe>,
+    ) -> RunResult {
+        let outcome = self.exec_loop(max_cycles, rt, probe, None, None);
+        self.into_result(outcome)
+    }
+
+    /// Package a finished (or fast-path-terminated) machine into a
+    /// [`RunResult`].
+    pub fn into_result(self, outcome: RunOutcome) -> RunResult {
+        RunResult {
+            outcome,
+            output: self.output,
+            cycles: self.cycles,
+            instrs_retired: self.instrs_retired,
+        }
+    }
+
+    /// The exact interpreter loop shared by every entry point: probe
+    /// consultation, virtual runtime dispatch, post-retirement injection,
+    /// tracing, and (for checkpointed profiling runs) snapshot capture.
+    fn exec_loop(
+        &mut self,
+        max_cycles: u64,
+        rt: &mut dyn FiRuntime,
+        mut probe: Option<&mut dyn Probe>,
+        mut tracer: Option<&mut dyn Tracer>,
+        mut builder: Option<&mut CheckpointBuilder>,
+    ) -> RunOutcome {
+        // When a probe is attached it owns the FI-event counter (PINFI);
+        // otherwise the runtime does. If an attached probe detaches, the
+        // counter source is gone and snapshotting stops.
+        let probe_counts = probe.is_some();
+        loop {
+            if self.cycles >= max_cycles {
                 break RunOutcome::Timeout;
             }
-            let Some(&fetched) = binary.text.get(m.pc as usize) else {
-                break RunOutcome::Trap(Trap::BadPc(m.pc as u64));
+            let Some(&fetched) = self.binary.text.get(self.pc as usize) else {
+                break RunOutcome::Trap(Trap::BadPc(self.pc as u64));
             };
-            let pc = m.pc;
+            let pc = self.pc;
             let mut instr = fetched;
             // --- DBI probe (PIN analogue).
             let mut inject: Option<(usize, u32)> = None;
             let mut inject_mask: Option<(usize, u64)> = None;
             if let Some(p) = probe.as_deref_mut() {
-                m.cycles += p.overhead_cycles();
-                match p.before(m.pc, &instr, m.instrs_retired) {
+                self.cycles += p.overhead_cycles();
+                match p.before(self.pc, &instr, self.instrs_retired) {
                     ProbeAction::Continue => {}
                     ProbeAction::Detach => probe = None,
                     ProbeAction::InjectAfter { op, bit, detach } => {
@@ -228,42 +330,117 @@ impl<'a> Machine<'a> {
                 }
             }
             // --- Execute.
-            m.cycles += instr.cycles();
-            match m.step(&instr, rt) {
+            self.cycles += instr.cycles();
+            match self.step(&instr, rt) {
                 Ok(Step::Continue) => {}
                 Ok(Step::Halt(code)) => break RunOutcome::Exit(code),
                 Err(t) => break RunOutcome::Trap(t),
             }
-            m.instrs_retired += 1;
+            self.instrs_retired += 1;
             // --- Post-retirement injection requested by the probe.
             if let Some((op, bit)) = inject {
                 let outs = fi_outputs(&instr);
                 if let Some(&(reg, bits)) = outs.get(op) {
-                    m.flip(reg, bit % bits);
+                    self.flip(reg, bit % bits);
                 }
             }
             if let Some((op, mask)) = inject_mask {
                 let outs = fi_outputs(&instr);
                 if let Some(&(reg, _)) = outs.get(op) {
-                    m.xor_mask(reg, mask);
+                    self.xor_mask(reg, mask);
                 }
             }
             if let Some(t) = tracer.as_deref_mut() {
                 t.after_step(ArchState {
                     pc,
-                    regs: &m.regs,
-                    fregs: &m.fregs,
-                    flags: m.flags,
-                    retired: m.instrs_retired - 1,
+                    regs: &self.regs,
+                    fregs: &self.fregs,
+                    flags: self.flags,
+                    retired: self.instrs_retired - 1,
                 });
             }
-        };
-        RunResult {
-            outcome,
-            output: m.output,
-            cycles: m.cycles,
-            instrs_retired: m.instrs_retired,
+            if let Some(b) = builder.as_deref_mut() {
+                if b.due(self.instrs_retired) {
+                    let fi_count = match (&probe, probe_counts) {
+                        (Some(p), _) => Some(p.fi_count()),
+                        (None, false) => Some(rt.fi_count()),
+                        (None, true) => None, // counter detached with the probe
+                    };
+                    if let Some(fc) = fi_count {
+                        b.push(self.snapshot(fc));
+                    }
+                }
+            }
         }
+    }
+
+    /// The quiescent fast path for call-hook tools (REFINE, LLFI): run
+    /// from the current state with a concrete counting-only runtime and the
+    /// predecoded stream `pre`, until `rt` has counted `stop` FI events —
+    /// no probe, no tracer, no virtual dispatch.
+    ///
+    /// Returns `Some(outcome)` when the run *ends* inside the quiescent
+    /// region (the event count never reached `stop`); `None` when the
+    /// boundary was reached and the caller must continue with the exact
+    /// loop ([`Machine::finish_run`]) under the real injector.
+    pub fn run_quiescent_calls(
+        &mut self,
+        pre: &Predecoded,
+        rt: &mut QuiescentRt,
+        stop: u64,
+        max_cycles: u64,
+    ) -> Option<RunOutcome> {
+        debug_assert_eq!(pre.len(), self.binary.text.len());
+        while rt.count < stop {
+            if self.cycles >= max_cycles {
+                return Some(RunOutcome::Timeout);
+            }
+            let Some(e) = pre.entry(self.pc) else {
+                return Some(RunOutcome::Trap(Trap::BadPc(self.pc as u64)));
+            };
+            self.cycles += e.cost;
+            match self.step(&e.instr, rt) {
+                Ok(Step::Continue) => self.instrs_retired += 1,
+                Ok(Step::Halt(code)) => return Some(RunOutcome::Exit(code)),
+                Err(t) => return Some(RunOutcome::Trap(t)),
+            }
+        }
+        None
+    }
+
+    /// The quiescent fast path for the probed tool (PINFI): mirror the
+    /// exact loop's attached-probe accounting (`overhead` cycles per
+    /// instruction, FI-target counting *before* execution) without the
+    /// probe virtual call, until `count` reaches `stop`. Return contract as
+    /// [`Machine::run_quiescent_calls`].
+    pub fn run_quiescent_probed(
+        &mut self,
+        pre: &Predecoded,
+        overhead: u64,
+        count: &mut u64,
+        stop: u64,
+        max_cycles: u64,
+    ) -> Option<RunOutcome> {
+        debug_assert_eq!(pre.len(), self.binary.text.len());
+        let mut rt = NoFi;
+        while *count < stop {
+            if self.cycles >= max_cycles {
+                return Some(RunOutcome::Timeout);
+            }
+            let Some(e) = pre.entry(self.pc) else {
+                return Some(RunOutcome::Trap(Trap::BadPc(self.pc as u64)));
+            };
+            self.cycles += overhead + e.cost;
+            if e.is_target {
+                *count += 1;
+            }
+            match self.step(&e.instr, &mut rt) {
+                Ok(Step::Continue) => self.instrs_retired += 1,
+                Ok(Step::Halt(code)) => return Some(RunOutcome::Exit(code)),
+                Err(t) => return Some(RunOutcome::Trap(t)),
+            }
+        }
+        None
     }
 
     /// XOR a full mask into an architectural register (multi-bit faults).
@@ -392,7 +569,7 @@ impl<'a> Machine<'a> {
         Ok(v)
     }
 
-    fn step(&mut self, instr: &MInstr, rt: &mut dyn FiRuntime) -> Result<Step, Trap> {
+    fn step<R: FiRuntime + ?Sized>(&mut self, instr: &MInstr, rt: &mut R) -> Result<Step, Trap> {
         let mut next = self.pc + 1;
         match *instr {
             MInstr::Nop => {}
@@ -518,7 +695,7 @@ impl<'a> Machine<'a> {
         self.flags = f;
     }
 
-    fn call_rt(&mut self, func: RtFunc, imm: u64, rt: &mut dyn FiRuntime) {
+    fn call_rt<R: FiRuntime + ?Sized>(&mut self, func: RtFunc, imm: u64, rt: &mut R) {
         match func {
             RtFunc::PrintI64 => self.output.push(OutEvent::I64(self.regs[0] as i64)),
             RtFunc::PrintF64 => self.output.push(OutEvent::F64(self.f(0))),

@@ -60,6 +60,13 @@ pub trait Probe {
     fn overhead_cycles(&self) -> u64 {
         10
     }
+
+    /// Number of FI population events this probe has counted so far.
+    /// Checkpointed profiling stamps snapshots with this value; probes
+    /// that keep no counter report 0.
+    fn fi_count(&self) -> u64 {
+        0
+    }
 }
 
 /// A probe that merely counts instructions matching a predicate — the

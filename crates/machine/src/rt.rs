@@ -21,6 +21,52 @@ pub trait FiRuntime {
     /// `bits`), counting this dynamic IR instruction. Returns the value to
     /// substitute.
     fn llfi_inject(&mut self, site: u64, value: u64, bits: u32) -> u64;
+
+    /// Number of FI population events this runtime has counted so far.
+    /// Checkpointed profiling stamps snapshots with this value; runtimes
+    /// that keep no counter report 0.
+    fn fi_count(&self) -> u64 {
+        0
+    }
+}
+
+/// The counting-only runtime of the checkpoint fast path: semantically
+/// identical to the profiling library (count every event, never fire), but
+/// a concrete type so [`crate::Machine::run_quiescent_calls`]
+/// monomorphizes the hook dispatch away.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct QuiescentRt {
+    /// FI population events counted so far.
+    pub count: u64,
+}
+
+impl QuiescentRt {
+    /// A quiescent runtime resuming from a checkpoint's event count.
+    pub fn starting_at(count: u64) -> Self {
+        QuiescentRt { count }
+    }
+}
+
+impl FiRuntime for QuiescentRt {
+    fn sel_instr(&mut self, _site: u64) -> bool {
+        self.count += 1;
+        false
+    }
+
+    fn setup_fi(&mut self, _nops: u32, _sizes: &[u32]) -> (u32, u32) {
+        // Unreachable in practice: instrumentation only calls setupFI when
+        // selInstr returned true.
+        (0, 0)
+    }
+
+    fn llfi_inject(&mut self, _site: u64, value: u64, _bits: u32) -> u64 {
+        self.count += 1;
+        value
+    }
+
+    fn fi_count(&self) -> u64 {
+        self.count
+    }
 }
 
 /// A no-op runtime for running uninstrumented binaries.

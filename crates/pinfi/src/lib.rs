@@ -65,6 +65,10 @@ impl Probe for PinfiProfiler {
     fn overhead_cycles(&self) -> u64 {
         PIN_OVERHEAD_CYCLES
     }
+
+    fn fi_count(&self) -> u64 {
+        self.count
+    }
 }
 
 /// Injection probe: single bit flip at a chosen dynamic target instruction,
@@ -88,6 +92,15 @@ impl PinfiInjector {
     /// True once the fault was injected.
     pub fn fired(&self) -> bool {
         self.log.is_some()
+    }
+
+    /// An injector resuming after a checkpoint restore: behaves exactly as
+    /// [`PinfiInjector::new`] would after `counted` quiescent target
+    /// instructions, because the RNG is seeded fresh from `seed` and is
+    /// consumed only when the fault fires.
+    pub fn resume(target: u64, seed: u64, counted: u64) -> Self {
+        debug_assert!(counted < target, "restore point must precede the target event");
+        PinfiInjector { count: counted, ..PinfiInjector::new(target, seed) }
     }
 }
 
@@ -114,6 +127,10 @@ impl Probe for PinfiInjector {
 
     fn overhead_cycles(&self) -> u64 {
         PIN_OVERHEAD_CYCLES
+    }
+
+    fn fi_count(&self) -> u64 {
+        self.count
     }
 }
 

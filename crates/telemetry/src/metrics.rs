@@ -223,6 +223,12 @@ pub struct Registry {
     pub artifact_cache_misses: Counter,
     /// Wall-clock nanoseconds per artifact preparation (cache misses only).
     pub artifact_prepare_ns: Histogram,
+    /// Trials fast-forwarded from a golden-run checkpoint.
+    pub checkpoint_restores: Counter,
+    /// Trials executed cold (no usable checkpoint or checkpointing off).
+    pub checkpoint_cold: Counter,
+    /// Dynamic instructions skipped per checkpoint restore.
+    pub checkpoint_skipped_instrs: Histogram,
 }
 
 static REGISTRY: Registry = Registry::new();
@@ -244,6 +250,9 @@ impl Registry {
             artifact_cache_hits: Counter::new(),
             artifact_cache_misses: Counter::new(),
             artifact_prepare_ns: Histogram::new(),
+            checkpoint_restores: Counter::new(),
+            checkpoint_cold: Counter::new(),
+            checkpoint_skipped_instrs: Histogram::new(),
         }
     }
 
@@ -293,8 +302,24 @@ impl Registry {
                 misses: self.artifact_cache_misses.get(),
                 prepare_ns: self.artifact_prepare_ns.snapshot(),
             },
+            checkpoint: CheckpointSnapshot {
+                restores: self.checkpoint_restores.get(),
+                cold: self.checkpoint_cold.get(),
+                skipped_instrs: self.checkpoint_skipped_instrs.snapshot(),
+            },
         }
     }
+}
+
+/// Serializable checkpoint fast-forward statistics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CheckpointSnapshot {
+    /// Trials fast-forwarded from a golden-run checkpoint.
+    pub restores: u64,
+    /// Trials executed cold (no usable checkpoint or checkpointing off).
+    pub cold: u64,
+    /// Dynamic instructions skipped per restore.
+    pub skipped_instrs: HistogramSnapshot,
 }
 
 /// Serializable instrumented-artifact cache statistics.
@@ -348,6 +373,8 @@ pub struct MetricsSnapshot {
     pub phases: PhasesSnapshot,
     /// Instrumented-artifact cache statistics.
     pub artifact_cache: ArtifactCacheSnapshot,
+    /// Checkpoint fast-forward statistics.
+    pub checkpoint: CheckpointSnapshot,
 }
 
 #[cfg(test)]

@@ -38,10 +38,14 @@ pub enum Phase {
     /// Full artifact preparation for a campaign: compile + instrument +
     /// profiling run (a cache miss in the campaign engine).
     PrepareArtifact,
+    /// Checkpoint-capturing profiling run (golden-run snapshot capture).
+    CheckpointBuild,
+    /// Per-trial checkpoint lookup + machine-state restore.
+    CheckpointRestore,
 }
 
 /// All phases, in display order.
-pub const PHASES: [Phase; 12] = [
+pub const PHASES: [Phase; 14] = [
     Phase::Lex,
     Phase::Parse,
     Phase::LowerIr,
@@ -54,6 +58,8 @@ pub const PHASES: [Phase; 12] = [
     Phase::FiLlfiPass,
     Phase::FiPinfiProbe,
     Phase::PrepareArtifact,
+    Phase::CheckpointBuild,
+    Phase::CheckpointRestore,
 ];
 
 struct PhaseCell {
@@ -84,6 +90,8 @@ impl Phase {
             Phase::FiLlfiPass => "fi-llfi-pass",
             Phase::FiPinfiProbe => "fi-pinfi-probe",
             Phase::PrepareArtifact => "prepare-artifact",
+            Phase::CheckpointBuild => "checkpoint-build",
+            Phase::CheckpointRestore => "checkpoint-restore",
         }
     }
 
