@@ -38,6 +38,17 @@ if [ "$CK" != "$NC" ]; then
 fi
 echo "   identical tables with checkpointing on and off"
 
+echo "== convergence equivalence (default vs --no-convergence)"
+# The golden-convergence early exit must be invisible too: diff the same
+# sweep with the detector armed (default) against checkpoint-only trials.
+NV="$($EXP table6 --trials 12 --apps HPCCG-1.0,CoMD --seed 7 --jobs 4 --quiet --no-convergence 2>/dev/null)"
+if [ "$CK" != "$NV" ]; then
+    echo "convergence equivalence FAILED: default and --no-convergence outputs differ" >&2
+    diff <(printf '%s\n' "$CK") <(printf '%s\n' "$NV") >&2 || true
+    exit 1
+fi
+echo "   identical tables with convergence on and off"
+
 echo "== trial_throughput bench (smoke)"
 # Fails on its own if the on/off sweeps mismatch; records trials/sec in
 # BENCH_trials.json.

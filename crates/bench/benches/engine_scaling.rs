@@ -42,7 +42,15 @@ fn bench_engine_scaling(c: &mut Criterion) {
     g.sample_size(10);
     let mut baseline: Option<(u64, u64, u64)> = None;
     for jobs in [1usize, 2, 4, 8] {
-        let cfg = EngineConfig { trials: TRIALS, seed: SEED, jobs, batch: DEFAULT_BATCH, checkpoint: true };
+        let cfg = EngineConfig {
+            trials: TRIALS,
+            seed: SEED,
+            jobs,
+            batch: DEFAULT_BATCH,
+            checkpoint: true,
+            convergence: true,
+            checkpoint_interval: refine_machine::CheckpointConfig::default().interval,
+        };
         // One instrumented run for the record (and the determinism check).
         let report = run_sweep(&specs, &cfg, &ArtifactCache::new(), &EngineHooks::default());
         let crashes: u64 = report.results.iter().map(|r| r.counts.crash).sum();

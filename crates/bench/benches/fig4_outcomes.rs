@@ -16,7 +16,7 @@ fn bench_fig4(c: &mut Criterion) {
         let module = refine_benchmarks::by_name(app).unwrap().module();
         for tool in Tool::all() {
             let prepared = PreparedTool::prepare(&module, tool);
-            let cfg = CampaignConfig { trials: 40, seed: 1, jobs: 0, checkpoint: true };
+            let cfg = CampaignConfig { trials: 40, seed: 1, jobs: 0, checkpoint: true, ..CampaignConfig::default() };
             // Print the sampled outcome mix once, for the record.
             let r = run_campaign_prepared(&prepared, &cfg);
             let p = r.counts.percentages();

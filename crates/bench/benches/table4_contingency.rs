@@ -10,7 +10,7 @@ fn bench_table4(c: &mut Criterion) {
     let module = refine_benchmarks::by_name("AMG2013").unwrap().module();
     let llfi = PreparedTool::prepare(&module, Tool::Llfi);
     let pinfi = PreparedTool::prepare(&module, Tool::Pinfi);
-    let cfg = CampaignConfig { trials: 30, seed: 42, jobs: 0, checkpoint: true };
+    let cfg = CampaignConfig { trials: 30, seed: 42, jobs: 0, checkpoint: true, ..CampaignConfig::default() };
 
     // Print the reproduced Table 4 once.
     let lr = run_campaign_prepared(&llfi, &cfg);

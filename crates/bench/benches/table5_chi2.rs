@@ -31,7 +31,7 @@ fn bench_chi2(c: &mut Criterion) {
 
     // One real mini Table 5 row, printed for the record.
     let m = refine_benchmarks::by_name("miniFE").unwrap().module();
-    let cfg = CampaignConfig { trials: 120, seed: 99, jobs: 0, checkpoint: true };
+    let cfg = CampaignConfig { trials: 120, seed: 99, jobs: 0, checkpoint: true, ..CampaignConfig::default() };
     let l = run_campaign(&m, Tool::Llfi, &cfg);
     let r = run_campaign(&m, Tool::Refine, &cfg);
     let p = run_campaign(&m, Tool::Pinfi, &cfg);

@@ -1,15 +1,21 @@
-//! `trial_throughput` — trials/sec for a fixed short sweep with checkpoint
-//! fast-forward on vs off, tracking the perf trajectory of the trial loop.
+//! `trial_throughput` — trials/sec for a fixed short sweep across the three
+//! trial-execution modes, tracking the perf trajectory of the trial loop:
+//!
+//! * **convergence on** — checkpoint fast-forward + post-injection
+//!   golden-convergence early exit (the default path);
+//! * **convergence off** — checkpoint fast-forward only (`--no-convergence`,
+//!   the previous baseline);
+//! * **checkpoint off** — the cold full-execution path (`--no-checkpoint`).
 //!
 //! Artifacts are pre-prepared outside the timed region so the measurement
 //! isolates trial execution (prepare cost is `compile_overhead`'s subject;
-//! the checkpoint-store build rides inside prepare). The on/off sweeps must
+//! the checkpoint-store build rides inside prepare). All three sweeps must
 //! produce identical outcome tables — the bench doubles as an equivalence
 //! check and **fails** on any mismatch.
 //!
 //! Smoke mode (`REFINE_SMOKE=1`, used by ci.sh) shrinks the sweep; either
-//! way the result lands in `BENCH_trials.json` at the repo root:
-//! trials/sec for both modes and the on/off speedup.
+//! way the result lands in `BENCH_trials.json` at the repo root: trials/sec
+//! for each mode, the pairwise speedups, and the convergence hit rate.
 
 use refine_campaign::engine::{
     run_sweep, ArtifactCache, ArtifactSource, EngineCampaign, EngineConfig, EngineHooks,
@@ -39,25 +45,32 @@ fn specs(apps: &[&str], ckpt: &CheckpointOptions) -> Vec<EngineCampaign> {
 /// One comparable outcome row: (app, crash, soc, benign, total cycles).
 type OutcomeRow = (String, u64, u64, u64, u64);
 
-/// Run the sweep `reps` times and return (best trials/sec, outcome table).
-fn measure(specs: &[EngineCampaign], cfg: &EngineConfig, reps: usize) -> (f64, Vec<OutcomeRow>) {
+/// One mode's measurement: best trials/sec, outcome table, convergence hits.
+struct Measured {
+    tps: f64,
+    table: Vec<OutcomeRow>,
+    conv_hits: u64,
+}
+
+/// Run the sweep `reps` times, keeping the best throughput.
+fn measure(specs: &[EngineCampaign], cfg: &EngineConfig, reps: usize) -> Measured {
     let total = specs.len() as u64 * cfg.trials;
-    let mut best = 0.0f64;
-    let mut table = Vec::new();
+    let mut m = Measured { tps: 0.0, table: Vec::new(), conv_hits: 0 };
     for _ in 0..reps {
         let t0 = Instant::now();
         let report = run_sweep(specs, cfg, &ArtifactCache::new(), &EngineHooks::default());
         let secs = t0.elapsed().as_secs_f64().max(1e-9);
-        best = best.max(total as f64 / secs);
-        table = specs
+        m.tps = m.tps.max(total as f64 / secs);
+        m.table = specs
             .iter()
             .zip(&report.results)
             .map(|(s, r)| {
                 (s.app.clone(), r.counts.crash, r.counts.soc, r.counts.benign, r.total_cycles)
             })
             .collect();
+        m.conv_hits = report.stats.iter().map(|cs| cs.conv_hits).sum();
     }
-    (best, table)
+    m
 }
 
 fn main() {
@@ -71,25 +84,47 @@ fn main() {
         jobs: 1,
         batch: DEFAULT_BATCH,
         checkpoint: true,
+        convergence: true,
+        checkpoint_interval: refine_machine::CheckpointConfig::default().interval,
     };
+    let total = apps.len() as u64 * 3 * trials;
 
-    let specs_on = specs(apps, &CheckpointOptions::default());
+    let ckpt_conv = CheckpointOptions::default();
+    let ckpt_only = CheckpointOptions { convergence: false, ..CheckpointOptions::default() };
+    let specs_conv = specs(apps, &ckpt_conv);
+    let specs_ckpt = specs(apps, &ckpt_only);
     let specs_off = specs(apps, &CheckpointOptions::disabled());
 
-    let (tps_on, table_on) = measure(&specs_on, &cfg, reps);
-    let (tps_off, table_off) =
-        measure(&specs_off, &EngineConfig { checkpoint: false, ..cfg }, reps);
+    let conv = measure(&specs_conv, &cfg, reps);
+    let ckpt = measure(&specs_ckpt, &EngineConfig { convergence: false, ..cfg }, reps);
+    let off = measure(
+        &specs_off,
+        &EngineConfig { checkpoint: false, convergence: false, ..cfg },
+        reps,
+    );
 
     assert_eq!(
-        table_on, table_off,
+        conv.table, ckpt.table,
+        "convergence on/off sweeps diverged — golden-splice equivalence broken"
+    );
+    assert_eq!(
+        ckpt.table, off.table,
         "checkpoint on/off sweeps diverged — fast-forward equivalence broken"
     );
 
-    let speedup = tps_on / tps_off.max(1e-9);
+    let speedup_ckpt = ckpt.tps / off.tps.max(1e-9);
+    let speedup_conv = conv.tps / ckpt.tps.max(1e-9);
+    let conv_hit_rate = conv.conv_hits as f64 / total.max(1) as f64;
     println!(
         "[trial_throughput] apps={} trials={trials} jobs=1: \
-         on={tps_on:.0} trials/s, off={tps_off:.0} trials/s, speedup={speedup:.2}x",
+         conv={:.0} trials/s, ckpt={:.0} trials/s, off={:.0} trials/s, \
+         conv/ckpt={speedup_conv:.2}x, ckpt/off={speedup_ckpt:.2}x, \
+         conv hit rate={:.1}%",
         apps.len(),
+        conv.tps,
+        ckpt.tps,
+        off.tps,
+        100.0 * conv_hit_rate,
     );
 
     let report = serde::Value::Map(vec![
@@ -99,9 +134,13 @@ fn main() {
         ("tools".to_string(), 3u64.to_value()),
         ("trials_per_campaign".to_string(), trials.to_value()),
         ("jobs".to_string(), 1u64.to_value()),
-        ("trials_per_sec_checkpoint_on".to_string(), tps_on.to_value()),
-        ("trials_per_sec_checkpoint_off".to_string(), tps_off.to_value()),
-        ("speedup_on_vs_off".to_string(), speedup.to_value()),
+        ("trials_per_sec_convergence_on".to_string(), conv.tps.to_value()),
+        ("trials_per_sec_convergence_off".to_string(), ckpt.tps.to_value()),
+        ("trials_per_sec_checkpoint_on".to_string(), ckpt.tps.to_value()),
+        ("trials_per_sec_checkpoint_off".to_string(), off.tps.to_value()),
+        ("speedup_convergence_vs_checkpoint".to_string(), speedup_conv.to_value()),
+        ("speedup_on_vs_off".to_string(), speedup_ckpt.to_value()),
+        ("conv_hit_rate".to_string(), conv_hit_rate.to_value()),
         ("results_identical".to_string(), true.to_value()),
     ]);
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_trials.json");

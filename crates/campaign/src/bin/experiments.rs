@@ -4,6 +4,7 @@
 //! refine-experiments [fig4|table4|table5|table6|fig5|samples|ablation|all]
 //!                    [--trials N] [--seed S] [--jobs N] [--apps A,B,...]
 //!                    [--trace-out FILE] [--json] [--quiet] [--no-checkpoint]
+//!                    [--no-convergence] [--checkpoint-interval N]
 //! refine-experiments trace-summary FILE
 //! ```
 //!
@@ -30,7 +31,12 @@
 //! * `--quiet` suppresses the live progress lines;
 //! * `--no-checkpoint` disables golden-run checkpoint fast-forward for
 //!   trials (slower; results are bit-identical either way — this is the
-//!   escape hatch and the differential-testing oracle).
+//!   escape hatch and the differential-testing oracle);
+//! * `--no-convergence` disables post-injection golden-convergence early
+//!   exit only, keeping checkpoint fast-forward (same bit-identical
+//!   guarantee — the convergence differential oracle);
+//! * `--checkpoint-interval N` sets the initial golden-run snapshot
+//!   interval in retired instructions (default 2048; must be nonzero).
 
 use refine_campaign::campaign::CampaignConfig;
 use refine_campaign::engine::EngineReport;
@@ -44,7 +50,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: refine-experiments [fig4|table4|table5|table6|fig5|samples|ablation|all] \
          [--trials N] [--seed S] [--jobs N] [--apps A,B,...] \
-         [--trace-out FILE] [--json] [--quiet] [--no-checkpoint]\n\
+         [--trace-out FILE] [--json] [--quiet] [--no-checkpoint] \
+         [--no-convergence] [--checkpoint-interval N]\n\
          \x20      refine-experiments trace-summary FILE"
     );
     std::process::exit(2);
@@ -152,6 +159,16 @@ fn main() {
             "--json" => json = true,
             "--quiet" => quiet = true,
             "--no-checkpoint" => cfg.checkpoint = false,
+            "--no-convergence" => cfg.convergence = false,
+            "--checkpoint-interval" => {
+                i += 1;
+                cfg.checkpoint_interval =
+                    args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+                if cfg.checkpoint_interval == 0 {
+                    eprintln!("refine-experiments: --checkpoint-interval must be nonzero");
+                    usage();
+                }
+            }
             _ => usage(),
         }
         i += 1;

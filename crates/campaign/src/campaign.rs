@@ -81,11 +81,24 @@ pub struct CampaignConfig {
     /// turns it off). On or off, campaigns are bit-identical; off only
     /// costs wall-clock time.
     pub checkpoint: bool,
+    /// Post-injection golden-convergence early exit (`--no-convergence`
+    /// turns it off). Like `checkpoint`, never changes campaign results.
+    pub convergence: bool,
+    /// Initial golden-run snapshot interval in retired instructions
+    /// (`--checkpoint-interval`; must be nonzero).
+    pub checkpoint_interval: u64,
 }
 
 impl Default for CampaignConfig {
     fn default() -> Self {
-        CampaignConfig { trials: 1068, seed: 0xB1ADE, jobs: 0, checkpoint: true }
+        CampaignConfig {
+            trials: 1068,
+            seed: 0xB1ADE,
+            jobs: 0,
+            checkpoint: true,
+            convergence: true,
+            checkpoint_interval: refine_machine::CheckpointConfig::default().interval,
+        }
     }
 }
 
@@ -165,6 +178,13 @@ pub(crate) fn execute_trial(
         } else {
             reg.checkpoint_cold.incr();
         }
+        if fast.converged {
+            reg.convergence_hits.incr();
+            reg.convergence_saved_instrs.record(fast.conv_saved_instrs);
+        }
+        if fast.conv_checked_instrs > 0 {
+            reg.convergence_checked_instrs.record(fast.conv_checked_instrs);
+        }
     }
 
     let trap = match r.outcome {
@@ -210,11 +230,7 @@ pub(crate) fn execute_trial(
 
 /// Run a full campaign of `cfg.trials` single-fault runs.
 pub fn run_campaign(module: &Module, tool: Tool, cfg: &CampaignConfig) -> CampaignResult {
-    let ckpt = if cfg.checkpoint {
-        refine_core::CheckpointOptions::default()
-    } else {
-        refine_core::CheckpointOptions::disabled()
-    };
+    let ckpt = crate::engine::EngineConfig::from_campaign(cfg).checkpoint_options();
     let prepared = PreparedTool::prepare_opt(module, tool, &ckpt);
     run_campaign_prepared(&prepared, cfg)
 }
@@ -287,7 +303,7 @@ mod tests {
     #[test]
     fn campaign_totals_match_trials() {
         let m = tiny_module();
-        let cfg = CampaignConfig { trials: 40, seed: 7, jobs: 2, checkpoint: true };
+        let cfg = CampaignConfig { trials: 40, seed: 7, jobs: 2, checkpoint: true, ..CampaignConfig::default() };
         for tool in Tool::all() {
             let r = run_campaign(&m, tool, &cfg);
             assert_eq!(r.counts.total(), 40, "{}", tool.name());
@@ -298,7 +314,7 @@ mod tests {
     #[test]
     fn campaigns_are_reproducible() {
         let m = tiny_module();
-        let cfg = CampaignConfig { trials: 30, seed: 99, jobs: 3, checkpoint: true };
+        let cfg = CampaignConfig { trials: 30, seed: 99, jobs: 3, checkpoint: true, ..CampaignConfig::default() };
         let a = run_campaign(&m, Tool::Refine, &cfg);
         let b = run_campaign(&m, Tool::Refine, &cfg);
         assert_eq!(a.counts, b.counts);
@@ -314,12 +330,12 @@ mod tests {
         let a = run_campaign(
             &m,
             Tool::Pinfi,
-            &CampaignConfig { trials: 60, seed: 1, jobs: 2, checkpoint: true },
+            &CampaignConfig { trials: 60, seed: 1, jobs: 2, checkpoint: true, ..CampaignConfig::default() },
         );
         let b = run_campaign(
             &m,
             Tool::Pinfi,
-            &CampaignConfig { trials: 60, seed: 2, jobs: 2, checkpoint: true },
+            &CampaignConfig { trials: 60, seed: 2, jobs: 2, checkpoint: true, ..CampaignConfig::default() },
         );
         assert_ne!((a.counts.crash, a.counts.soc), (b.counts.crash, b.counts.soc));
     }

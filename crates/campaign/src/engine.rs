@@ -218,6 +218,13 @@ pub struct EngineConfig {
     /// Capture golden-run checkpoints on artifact prepare and fast-forward
     /// trials through them. Bit-identical either way.
     pub checkpoint: bool,
+    /// Detect post-injection golden convergence at checkpoint boundaries
+    /// and splice the golden outcome. Bit-identical either way; rides on
+    /// `checkpoint` (ignored when checkpointing is off).
+    pub convergence: bool,
+    /// Initial checkpoint interval in retired instructions (must be
+    /// nonzero; `--checkpoint-interval`).
+    pub checkpoint_interval: u64,
 }
 
 impl EngineConfig {
@@ -229,13 +236,21 @@ impl EngineConfig {
             jobs: cfg.jobs,
             batch: DEFAULT_BATCH,
             checkpoint: cfg.checkpoint,
+            convergence: cfg.convergence,
+            checkpoint_interval: cfg.checkpoint_interval,
         }
     }
 
     /// The checkpointing knobs this engine config prepares artifacts with.
     pub fn checkpoint_options(&self) -> refine_core::CheckpointOptions {
+        assert!(self.checkpoint_interval > 0, "checkpoint interval must be nonzero");
         if self.checkpoint {
-            refine_core::CheckpointOptions::default()
+            refine_core::CheckpointOptions {
+                enabled: true,
+                interval: self.checkpoint_interval,
+                convergence: self.convergence,
+                ..refine_core::CheckpointOptions::default()
+            }
         } else {
             refine_core::CheckpointOptions::disabled()
         }
@@ -275,6 +290,14 @@ pub struct CampaignStats {
     pub ckpt_restores: u64,
     /// Dynamic instructions those restores skipped, summed.
     pub ckpt_skipped_instrs: u64,
+    /// Trials that converged back onto the golden run post-injection and
+    /// spliced its outcome.
+    pub conv_hits: u64,
+    /// Dynamic instructions executed post-injection while checking for
+    /// convergence, summed.
+    pub conv_checked_instrs: u64,
+    /// Dynamic instructions convergence splices skipped, summed.
+    pub conv_saved_instrs: u64,
 }
 
 /// A completed sweep: per-campaign results plus scheduling accounting.
@@ -337,6 +360,9 @@ struct CampaignAccum {
     last_ns: AtomicU64,
     restores: AtomicU64,
     skipped_instrs: AtomicU64,
+    conv_hits: AtomicU64,
+    conv_checked_instrs: AtomicU64,
+    conv_saved_instrs: AtomicU64,
 }
 
 impl CampaignAccum {
@@ -352,6 +378,9 @@ impl CampaignAccum {
             last_ns: AtomicU64::new(0),
             restores: AtomicU64::new(0),
             skipped_instrs: AtomicU64::new(0),
+            conv_hits: AtomicU64::new(0),
+            conv_checked_instrs: AtomicU64::new(0),
+            conv_saved_instrs: AtomicU64::new(0),
         }
     }
 }
@@ -456,6 +485,13 @@ pub fn run_sweep(
                             acc.restores.fetch_add(1, Ordering::Relaxed);
                             acc.skipped_instrs.fetch_add(fast.skipped_instrs, Ordering::Relaxed);
                         }
+                        if fast.converged {
+                            acc.conv_hits.fetch_add(1, Ordering::Relaxed);
+                            acc.conv_saved_instrs
+                                .fetch_add(fast.conv_saved_instrs, Ordering::Relaxed);
+                        }
+                        acc.conv_checked_instrs
+                            .fetch_add(fast.conv_checked_instrs, Ordering::Relaxed);
                         acc.last_ns.fetch_max(elapsed_ns(), Ordering::Relaxed);
                         if acc.done.fetch_add(1, Ordering::Relaxed) + 1 == cfg.trials {
                             if let Some(p) = hooks.progress {
@@ -513,6 +549,9 @@ pub fn run_sweep(
             prepare_ms,
             ckpt_restores: acc.restores.load(Ordering::Relaxed),
             ckpt_skipped_instrs: acc.skipped_instrs.load(Ordering::Relaxed),
+            conv_hits: acc.conv_hits.load(Ordering::Relaxed),
+            conv_checked_instrs: acc.conv_checked_instrs.load(Ordering::Relaxed),
+            conv_saved_instrs: acc.conv_saved_instrs.load(Ordering::Relaxed),
         });
     }
 
@@ -541,6 +580,18 @@ mod tests {
         )
     }
 
+    fn test_cfg(trials: u64, seed: u64, jobs: usize, batch: u64) -> EngineConfig {
+        EngineConfig {
+            trials,
+            seed,
+            jobs,
+            batch,
+            checkpoint: true,
+            convergence: true,
+            checkpoint_interval: refine_machine::CheckpointConfig::default().interval,
+        }
+    }
+
     fn sweep_specs() -> Vec<EngineCampaign> {
         let m = kernel(3);
         Tool::all()
@@ -556,7 +607,7 @@ mod tests {
     #[test]
     fn sweep_is_jobs_invariant() {
         let specs = sweep_specs();
-        let base = EngineConfig { trials: 24, seed: 42, jobs: 1, batch: 4, checkpoint: true };
+        let base = test_cfg(24, 42, 1, 4);
         let a = run_sweep(&specs, &base, &ArtifactCache::new(), &EngineHooks::default());
         for jobs in [2, 5, 8] {
             let cfg = EngineConfig { jobs, ..base };
@@ -573,7 +624,7 @@ mod tests {
     fn cache_prepares_each_artifact_once() {
         let specs = sweep_specs();
         let cache = ArtifactCache::new();
-        let cfg = EngineConfig { trials: 10, seed: 1, jobs: 4, batch: 2, checkpoint: true };
+        let cfg = test_cfg(10, 1, 4, 2);
         let report = run_sweep(&specs, &cfg, &cache, &EngineHooks::default());
         assert_eq!(cache.len(), 3, "one artifact per (program, tool)");
         assert_eq!(report.cache.misses, 3);
@@ -590,7 +641,7 @@ mod tests {
     #[test]
     fn report_accounts_wall_and_busy_time() {
         let specs = sweep_specs();
-        let cfg = EngineConfig { trials: 8, seed: 9, jobs: 2, batch: 3, checkpoint: true };
+        let cfg = test_cfg(8, 9, 2, 3);
         let r = run_sweep(&specs, &cfg, &ArtifactCache::new(), &EngineHooks::default());
         assert_eq!(r.jobs, 2);
         assert!(r.wall_ns > 0);

@@ -171,20 +171,21 @@ pub fn engine_summary(report: &EngineReport) -> String {
     );
     let _ = writeln!(
         s,
-        "{:10} {:8} {:>10} {:>10} {:>9} {:>11} {:>9}",
-        "app", "tool", "busy ms", "wall ms", "speedup", "prepare ms", "restores"
+        "{:10} {:8} {:>10} {:>10} {:>9} {:>11} {:>9} {:>9}",
+        "app", "tool", "busy ms", "wall ms", "speedup", "prepare ms", "restores", "conv"
     );
     for cs in &report.stats {
         let _ = writeln!(
             s,
-            "{:10} {:8} {:>10.1} {:>10.1} {:>8.2}x {:>11.1} {:>9}",
+            "{:10} {:8} {:>10.1} {:>10.1} {:>8.2}x {:>11.1} {:>9} {:>9}",
             cs.app,
             cs.tool,
             cs.busy_ns as f64 / 1e6,
             cs.wall_ns as f64 / 1e6,
             cs.speedup,
             cs.prepare_ms,
-            cs.ckpt_restores
+            cs.ckpt_restores,
+            cs.conv_hits
         );
     }
     s
@@ -527,7 +528,7 @@ mod tests {
     /// End-to-end mini-sweep on one real app with few trials.
     #[test]
     fn mini_suite_runs() {
-        let cfg = CampaignConfig { trials: 12, seed: 3, jobs: 2, checkpoint: true };
+        let cfg = CampaignConfig { trials: 12, seed: 3, jobs: 2, checkpoint: true, ..CampaignConfig::default() };
         let apps = vec!["CoMD".to_string()];
         let suite = run_suite(&cfg, Some(&apps), |_, _| {});
         assert_eq!(suite.apps.len(), 1);
@@ -542,7 +543,7 @@ mod tests {
     /// results match the public suite API bit for bit.
     #[test]
     fn sharded_suite_reports_engine_accounting() {
-        let cfg = CampaignConfig { trials: 10, seed: 3, jobs: 4, checkpoint: true };
+        let cfg = CampaignConfig { trials: 10, seed: 3, jobs: 4, checkpoint: true, ..CampaignConfig::default() };
         let apps = vec!["CoMD".to_string()];
         let (suite, report) =
             run_suite_sharded(&cfg, Some(&apps), &SuiteObserver::default(), |_, _| {});

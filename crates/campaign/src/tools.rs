@@ -5,8 +5,8 @@ use refine_core::{CheckpointOptions, FaultRecord, FiOptions, InjectingRt, Profil
 use refine_ir::passes::OptLevel;
 use refine_ir::Module;
 use refine_machine::{
-    Binary, CheckpointConfig, CheckpointStore, FiRuntime, Machine, NoFi, Predecoded, Probe,
-    QuiescentRt, RunConfig, RunResult,
+    Binary, CheckpointConfig, CheckpointStore, ConvStats, FiRuntime, GoldenEnd, Machine, NoFi,
+    Predecoded, Probe, QuiescentRt, RunConfig, RunOutcome, RunResult,
 };
 use refine_pinfi::{PinfiInjector, PinfiProfiler, PIN_OVERHEAD_CYCLES};
 use refine_telemetry::{Phase, Span};
@@ -67,6 +67,9 @@ pub struct PreparedTool {
     /// Golden-run checkpoints + predecoded text for trial fast-forward
     /// (`None` with `--no-checkpoint`). Shared read-only across workers.
     pub fastpath: Option<Arc<FastPath>>,
+    /// Detect post-injection golden convergence and splice the golden
+    /// outcome (`--no-convergence` clears this; requires a fastpath).
+    pub convergence: bool,
 }
 
 /// The immutable fast-forward companion of a prepared binary: the
@@ -78,6 +81,9 @@ pub struct FastPath {
     pub store: CheckpointStore,
     /// Flattened per-pc instruction stream.
     pub pre: Predecoded,
+    /// The complete golden profiling result, spliced into trials that
+    /// re-converge with it post-injection.
+    pub golden_run: RunResult,
 }
 
 /// How one trial actually executed, for engine accounting.
@@ -87,6 +93,22 @@ pub struct TrialFastStats {
     pub restored: bool,
     /// Dynamic instructions skipped by that restore (0 when cold).
     pub skipped_instrs: u64,
+    /// The trial converged with the golden run post-injection and its
+    /// outcome was spliced.
+    pub converged: bool,
+    /// Post-injection instructions executed under convergence checking.
+    pub conv_checked_instrs: u64,
+    /// Instructions not executed thanks to the golden-suffix splice.
+    pub conv_saved_instrs: u64,
+}
+
+impl TrialFastStats {
+    /// Fold one trial's convergence-loop accounting into these stats.
+    fn apply(&mut self, stats: &ConvStats) {
+        self.converged = stats.converged;
+        self.conv_checked_instrs = stats.checked_instrs;
+        self.conv_saved_instrs = stats.saved_instrs;
+    }
 }
 
 /// A completed trial with its fault log and fast-forward accounting.
@@ -141,6 +163,12 @@ impl PreparedTool {
                 let c = refine_core::compile_with_fi(module, OptLevel::O2, &FiOptions::all());
                 let opcodes =
                     c.sites.iter().map(|s| (s.id, asm_mnemonic(&s.asm))).collect();
+                // REFINE's trigger-path scratch slot must be digest-exempt
+                // or a fired trial can never match a golden digest.
+                let mcfg = mcfg.map(|mut m| {
+                    m.exempt_data_words = c.digest_exempt_words();
+                    m
+                });
                 let mut rt = ProfilingRt::default();
                 let (r, store) = profile_run(&c.binary, &cfg, &mut rt, None, mcfg);
                 (c.binary, rt.count, r, store, opcodes)
@@ -166,18 +194,21 @@ impl PreparedTool {
         };
         assert!(population > 0, "{}: empty FI population", tool.name());
         let golden = Golden::from_run(&profile);
-        let fastpath =
-            store.map(|store| Arc::new(FastPath { pre: Predecoded::new(&binary), store }));
+        let profile_cycles = profile.cycles;
+        let fastpath = store.map(|store| {
+            Arc::new(FastPath { pre: Predecoded::new(&binary), store, golden_run: profile })
+        });
         PreparedTool {
             tool,
             binary,
             population,
             golden,
-            profile_cycles: profile.cycles,
-            timeout_cycles: profile.cycles.saturating_mul(10),
+            profile_cycles,
+            timeout_cycles: profile_cycles.saturating_mul(10),
             stack_words,
             site_opcodes,
             fastpath,
+            convergence: ckpt.enabled && ckpt.convergence,
         }
     }
 
@@ -190,23 +221,30 @@ impl PreparedTool {
         let c = refine_core::compile_with_fi(module, OptLevel::O2, opts);
         let site_opcodes = c.sites.iter().map(|s| (s.id, asm_mnemonic(&s.asm))).collect();
         let ckpt = CheckpointOptions::default();
+        let mcfg = ckpt.enabled.then(|| {
+            let mut m = ckpt.machine_config();
+            m.exempt_data_words = c.digest_exempt_words();
+            m
+        });
         let mut rt = ProfilingRt::default();
-        let (r, store) =
-            profile_run(&c.binary, &cfg, &mut rt, None, ckpt.enabled.then(|| ckpt.machine_config()));
+        let (r, store) = profile_run(&c.binary, &cfg, &mut rt, None, mcfg);
         assert!(rt.count > 0, "selected FI population is empty");
         let golden = Golden::from_run(&r);
-        let fastpath =
-            store.map(|store| Arc::new(FastPath { pre: Predecoded::new(&c.binary), store }));
+        let profile_cycles = r.cycles;
+        let fastpath = store.map(|store| {
+            Arc::new(FastPath { pre: Predecoded::new(&c.binary), store, golden_run: r })
+        });
         PreparedTool {
             tool: Tool::Refine,
             binary: c.binary,
             population: rt.count,
             golden,
-            profile_cycles: r.cycles,
-            timeout_cycles: r.cycles.saturating_mul(10),
+            profile_cycles,
+            timeout_cycles: profile_cycles.saturating_mul(10),
             stack_words,
             site_opcodes,
             fastpath,
+            convergence: ckpt.enabled && ckpt.convergence,
         }
     }
 
@@ -235,13 +273,13 @@ impl PreparedTool {
             return self.run_trial_exact(target, seed);
         };
         let cfg = RunConfig { max_cycles: self.timeout_cycles, stack_words: self.stack_words };
-        let (mut m, count0, fast) = {
+        let (mut m, count0, mut fast) = {
             let _s = Span::enter(Phase::CheckpointRestore);
             match fp.store.nearest_below(target) {
                 Some(ck) => (
                     Machine::resume(&self.binary, &cfg, ck),
                     ck.fi_count,
-                    TrialFastStats { restored: true, skipped_instrs: ck.retired },
+                    TrialFastStats { restored: true, skipped_instrs: ck.retired, ..Default::default() },
                 ),
                 None => (Machine::new(&self.binary, &cfg), 0, TrialFastStats::default()),
             }
@@ -250,6 +288,7 @@ impl PreparedTool {
         // loop — with the real injector attached — handles the firing event
         // itself (and everything after it).
         let stop = target.saturating_sub(1);
+        let golden = self.golden_end(fp);
         match self.tool {
             Tool::Refine | Tool::Llfi => {
                 let mut q = QuiescentRt::starting_at(count0);
@@ -260,8 +299,27 @@ impl PreparedTool {
                     return TrialRun { result: m.into_result(outcome), log: None, fast };
                 }
                 let mut rt = InjectingRt::resume(target, seed, q.count);
-                let result = m.finish_run(cfg.max_cycles, &mut rt, None);
-                TrialRun { result, log: rt.log, fast }
+                let Some(golden) = golden else {
+                    let result = m.finish_run(cfg.max_cycles, &mut rt, None);
+                    return TrialRun { result, log: rt.log, fast };
+                };
+                // Exact loop only through the firing event, then the
+                // monomorphized convergence loop for the suffix.
+                if let Some(outcome) = m.run_exact_until_fired(cfg.max_cycles, &mut rt, None) {
+                    return TrialRun { result: m.into_result(outcome), log: rt.log, fast };
+                }
+                let mut stats = ConvStats::default();
+                let mut q = QuiescentRt::starting_at(rt.fi_count());
+                let outcome = m.run_converging_calls(
+                    &fp.pre,
+                    &mut q,
+                    &fp.store,
+                    golden,
+                    cfg.max_cycles,
+                    &mut stats,
+                );
+                fast.apply(&stats);
+                TrialRun { result: m.into_result(outcome), log: rt.log, fast }
             }
             Tool::Pinfi => {
                 let mut count = count0;
@@ -275,10 +333,57 @@ impl PreparedTool {
                     return TrialRun { result: m.into_result(outcome), log: None, fast };
                 }
                 let mut probe = PinfiInjector::resume(target, seed, count);
-                let result = m.finish_run(cfg.max_cycles, &mut NoFi, Some(&mut probe));
-                TrialRun { result, log: probe.log, fast }
+                let Some(golden) = golden else {
+                    let result = m.finish_run(cfg.max_cycles, &mut NoFi, Some(&mut probe));
+                    return TrialRun { result, log: probe.log, fast };
+                };
+                if let Some(outcome) =
+                    m.run_exact_until_fired(cfg.max_cycles, &mut NoFi, Some(&mut probe))
+                {
+                    return TrialRun { result: m.into_result(outcome), log: probe.log, fast };
+                }
+                let mut stats = ConvStats::default();
+                // The injector counted the firing event (== target) and
+                // detached; the convergence loop keeps tallying targets at
+                // fetch exactly as the attached profiling probe did.
+                let mut count = probe.fi_count();
+                let outcome = m.run_converging_probed(
+                    &fp.pre,
+                    &mut count,
+                    &fp.store,
+                    golden,
+                    cfg.max_cycles,
+                    &mut stats,
+                );
+                fast.apply(&stats);
+                TrialRun { result: m.into_result(outcome), log: probe.log, fast }
             }
         }
+    }
+
+    /// The golden run's terminal facts for convergence splicing, when
+    /// convergence is enabled and the golden run exited cleanly (a golden
+    /// trap or timeout — which does not occur for the suite programs —
+    /// would make "rest is identical" splicing meaningless for timing).
+    fn golden_end<'g>(&self, fp: &'g FastPath) -> Option<GoldenEnd<'g>> {
+        if !self.convergence {
+            return None;
+        }
+        let g = &fp.golden_run;
+        let RunOutcome::Exit(exit_code) = g.outcome else { return None };
+        Some(GoldenEnd {
+            exit_code,
+            output: &g.output,
+            cycles: g.cycles,
+            retired: g.instrs_retired,
+            // PINFI's profiling run paid per-fetch probe overhead that a
+            // detached post-fire trial does not; call-hook tools profile
+            // without a probe.
+            probe_overhead: match self.tool {
+                Tool::Pinfi => PIN_OVERHEAD_CYCLES,
+                Tool::Refine | Tool::Llfi => 0,
+            },
+        })
     }
 
     /// Reference trial execution: full interpretation from the initial

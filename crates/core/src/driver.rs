@@ -22,6 +22,27 @@ pub struct Compiled {
     pub save_base: u64,
 }
 
+impl Compiled {
+    /// Data-segment word range `(start, count)` that convergence digests
+    /// must ignore: the `SAVE_R1` scratch slot is written only by the
+    /// taken injection branch, so a fired trial's slot retains stale bits
+    /// forever while the golden run's stays zero — it would block every
+    /// digest match. The slot is dead from every pc the golden run can
+    /// reach (only the trigger-path epilogue reads it, and the trigger
+    /// path always writes it first; a post-fire trial never takes the
+    /// trigger path again), so ignoring it cannot hide a real divergence.
+    /// The `SAVE_R0`/`SAVE_FLAGS` slots are *not* exempt: both runs
+    /// rewrite them at every `selInstr` prologue, and they can be live at
+    /// a mid-prologue snapshot pc. `(0, 0)` when uninstrumented.
+    pub fn digest_exempt_words(&self) -> (u32, u32) {
+        if self.sites.is_empty() {
+            return (0, 0);
+        }
+        let word = (self.save_base - refine_ir::interp::GLOBAL_BASE) / 8;
+        (word as u32 + pass::SAVE_R1 as u32, 1)
+    }
+}
+
 /// Compile `m` at `level` with the given FI options.
 pub fn compile_with_fi(m: &Module, level: OptLevel, opts: &FiOptions) -> Compiled {
     use refine_telemetry::{Phase, Span};

@@ -133,31 +133,46 @@ pub struct CheckpointOptions {
     /// Capture checkpoints during profiling and fast-forward trials from
     /// them (`--no-checkpoint` clears this).
     pub enabled: bool,
-    /// Initial snapshot interval in retired instructions.
+    /// Initial snapshot interval in retired instructions
+    /// (`--checkpoint-interval`; must be nonzero).
     pub interval: u64,
     /// Snapshot count cap; reaching it thins to every other snapshot and
     /// doubles the interval.
     pub max_checkpoints: usize,
+    /// Detect post-injection golden convergence at checkpoint boundaries
+    /// and splice the golden outcome (`--no-convergence` clears this).
+    /// Requires `enabled`; ignored without checkpoints.
+    pub convergence: bool,
 }
 
 impl Default for CheckpointOptions {
     fn default() -> Self {
         let d = refine_machine::CheckpointConfig::default();
-        CheckpointOptions { enabled: true, interval: d.interval, max_checkpoints: d.max_checkpoints }
+        CheckpointOptions {
+            enabled: true,
+            interval: d.interval,
+            max_checkpoints: d.max_checkpoints,
+            convergence: true,
+        }
     }
 }
 
 impl CheckpointOptions {
     /// Checkpointing off — the escape hatch and the differential baseline.
+    /// Convergence detection is off too (it rides on checkpoints).
     pub fn disabled() -> Self {
-        CheckpointOptions { enabled: false, ..Self::default() }
+        CheckpointOptions { enabled: false, convergence: false, ..Self::default() }
     }
 
-    /// The machine-layer capture configuration.
+    /// The machine-layer capture configuration. The digest-exempt scratch
+    /// range is a property of the instrumented binary, not of the campaign
+    /// options — callers overlay [`crate::Compiled::digest_exempt_words`]
+    /// on the returned config.
     pub fn machine_config(&self) -> refine_machine::CheckpointConfig {
         refine_machine::CheckpointConfig {
             interval: self.interval,
             max_checkpoints: self.max_checkpoints,
+            exempt_data_words: (0, 0),
         }
     }
 }

@@ -45,7 +45,7 @@ pub struct SiteInfo {
 /// Offsets (in words) of the global save area slots.
 const SAVE_FLAGS: i64 = 0;
 const SAVE_R0: i64 = 1;
-const SAVE_R1: i64 = 2;
+pub(crate) const SAVE_R1: i64 = 2;
 /// Number of 8-byte words the pass needs in the data segment.
 pub const SAVE_AREA_WORDS: u32 = 3;
 

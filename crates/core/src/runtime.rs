@@ -135,6 +135,10 @@ impl FiRuntime for InjectingRt {
     fn fi_count(&self) -> u64 {
         self.count
     }
+
+    fn fired(&self) -> bool {
+        self.log.is_some()
+    }
 }
 
 /// Replay a fault log entry exactly (repeatability, §4.3.1).

@@ -24,6 +24,7 @@
 //! skips the `&mut dyn FiRuntime` virtual call and probe bookkeeping.
 
 use crate::binary::Binary;
+use crate::digest::{BaselineHashes, StateDigest};
 use crate::isa::{fi_outputs, MInstr};
 use crate::machine::OutEvent;
 
@@ -93,6 +94,10 @@ pub struct Checkpoint {
     pub data_pages: Vec<DirtyPage>,
     /// Stack pages differing from the all-zero initial stack.
     pub stack_pages: Vec<DirtyPage>,
+    /// Incremental state digest at this boundary, stamped by
+    /// [`CheckpointBuilder::push`]; trials compare against it at the same
+    /// `(fi_count, pc)` point to detect golden convergence.
+    pub digest: StateDigest,
 }
 
 impl Checkpoint {
@@ -110,11 +115,17 @@ pub struct CheckpointConfig {
     /// Snapshot count cap: reaching it drops every other snapshot and
     /// doubles the interval, bounding memory for long runs.
     pub max_checkpoints: usize,
+    /// Data-segment word range `(start, count)` excluded from convergence
+    /// digests — instrumentation scratch that a fired trial writes but the
+    /// golden run never does, and that no golden-reachable pc ever reads
+    /// before rewriting (see [`crate::BaselineHashes::exempt`]). `(0, 0)`
+    /// exempts nothing.
+    pub exempt_data_words: (u32, u32),
 }
 
 impl Default for CheckpointConfig {
     fn default() -> Self {
-        CheckpointConfig { interval: 2048, max_checkpoints: 128 }
+        CheckpointConfig { interval: 2048, max_checkpoints: 128, exempt_data_words: (0, 0) }
     }
 }
 
@@ -125,15 +136,19 @@ pub struct CheckpointBuilder {
     max: usize,
     interval: u64,
     checkpoints: Vec<Checkpoint>,
+    baseline: BaselineHashes,
 }
 
 impl CheckpointBuilder {
     /// Empty builder with `cfg`'s interval and cap (both clamped to >= 1).
-    pub fn new(cfg: &CheckpointConfig) -> Self {
+    /// `baseline` is the precomputed hash table of the run's initial
+    /// memory image, used to stamp each snapshot's convergence digest.
+    pub fn new(cfg: &CheckpointConfig, baseline: BaselineHashes) -> Self {
         CheckpointBuilder {
             max: cfg.max_checkpoints.max(1),
             interval: cfg.interval.max(1),
             checkpoints: Vec::new(),
+            baseline,
         }
     }
 
@@ -147,7 +162,17 @@ impl CheckpointBuilder {
     /// dropped and the interval doubles; survivors (even multiples of the
     /// old interval) stay aligned to the new one, and `ck` itself is kept
     /// only if it is too.
-    pub fn push(&mut self, ck: Checkpoint) {
+    pub fn push(&mut self, mut ck: Checkpoint) {
+        ck.digest = self.baseline.checkpoint_digest(
+            &ck.regs,
+            &ck.fregs,
+            ck.flags,
+            ck.pc,
+            ck.fi_count,
+            &ck.output,
+            &ck.data_pages,
+            &ck.stack_pages,
+        );
         if self.checkpoints.len() >= self.max {
             let mut nth = 0usize;
             self.checkpoints.retain(|_| {
@@ -169,7 +194,12 @@ impl CheckpointBuilder {
     /// Seal the store. `stack_words` records the stack geometry the
     /// profiling run used; restoring requires the same.
     pub fn finish(self, stack_words: usize) -> CheckpointStore {
-        CheckpointStore { interval: self.interval, stack_words, checkpoints: self.checkpoints }
+        CheckpointStore {
+            interval: self.interval,
+            stack_words,
+            checkpoints: self.checkpoints,
+            baseline: self.baseline,
+        }
     }
 }
 
@@ -184,6 +214,9 @@ pub struct CheckpointStore {
     pub stack_words: usize,
     /// Snapshots in capture order (retired and `fi_count` both monotone).
     pub checkpoints: Vec<Checkpoint>,
+    /// Baseline memory hashes shared by the snapshot digests; trials seed
+    /// their incremental convergence hasher from these.
+    pub baseline: BaselineHashes,
 }
 
 impl CheckpointStore {
@@ -278,7 +311,12 @@ mod tests {
             output: Vec::new(),
             data_pages: Vec::new(),
             stack_pages: Vec::new(),
+            digest: StateDigest::ZERO,
         }
+    }
+
+    fn builder(cfg: &CheckpointConfig) -> CheckpointBuilder {
+        CheckpointBuilder::new(cfg, BaselineHashes::new(&[], 0, (0, 0)))
     }
 
     #[test]
@@ -311,7 +349,7 @@ mod tests {
 
     #[test]
     fn nearest_below_is_strict() {
-        let mut b = CheckpointBuilder::new(&CheckpointConfig { interval: 10, max_checkpoints: 64 });
+        let mut b = builder(&CheckpointConfig { interval: 10, max_checkpoints: 64, ..Default::default() });
         for i in 1..=5u64 {
             b.push(ck(i * 10, i * 3)); // fi_counts 3, 6, 9, 12, 15
         }
@@ -325,8 +363,8 @@ mod tests {
 
     #[test]
     fn builder_thins_and_doubles_on_cap() {
-        let cfg = CheckpointConfig { interval: 10, max_checkpoints: 4 };
-        let mut b = CheckpointBuilder::new(&cfg);
+        let cfg = CheckpointConfig { interval: 10, max_checkpoints: 4, ..Default::default() };
+        let mut b = builder(&cfg);
         let mut retired = 0;
         let mut pushed = 0u64;
         while pushed < 12 {
@@ -351,7 +389,7 @@ mod tests {
 
     #[test]
     fn due_respects_interval() {
-        let b = CheckpointBuilder::new(&CheckpointConfig { interval: 100, max_checkpoints: 8 });
+        let b = builder(&CheckpointConfig { interval: 100, max_checkpoints: 8, ..Default::default() });
         assert!(!b.due(0));
         assert!(!b.due(99));
         assert!(b.due(100));

@@ -30,6 +30,7 @@
 
 pub mod binary;
 pub mod checkpoint;
+pub mod digest;
 pub mod encode;
 pub mod isa;
 pub mod machine;
@@ -38,7 +39,11 @@ pub mod rt;
 
 pub use binary::{Binary, Symbol};
 pub use checkpoint::{Checkpoint, CheckpointConfig, CheckpointStore, Predecoded};
+pub use digest::{BaselineHashes, ConvHasher, StateDigest};
 pub use isa::{fi_outputs, AluOp, Cc, CvtKind, FAluOp, MInstr, Mem, Reg, RtFunc, FLAGS_BITS};
-pub use machine::{ArchState, Machine, OutEvent, RunConfig, RunOutcome, RunResult, Tracer, Trap};
+pub use machine::{
+    ArchState, ConvStats, GoldenEnd, Machine, OutEvent, RunConfig, RunOutcome, RunResult, Tracer,
+    Trap,
+};
 pub use probe::{Probe, ProbeAction};
 pub use rt::{FiRuntime, NoFi, QuiescentRt};

@@ -3,8 +3,9 @@
 use crate::binary::Binary;
 use crate::checkpoint::{
     apply_pages, diff_pages, Checkpoint, CheckpointBuilder, CheckpointConfig, CheckpointStore,
-    Predecoded,
+    Predecoded, PAGE_WORDS,
 };
+use crate::digest::{BaselineHashes, ConvHasher, StateDigest};
 use crate::isa::{fi_outputs, flags, AluOp, CvtKind, FAluOp, MInstr, Mem, Reg, RtFunc, SP};
 use crate::probe::{Probe, ProbeAction};
 use crate::rt::{pack, FiRuntime, NoFi, QuiescentRt};
@@ -80,6 +81,38 @@ pub enum RunOutcome {
     Timeout,
 }
 
+/// The golden run's terminal facts, borrowed by the convergence loop so a
+/// converged trial can splice the remainder instead of executing it.
+#[derive(Debug, Clone, Copy)]
+pub struct GoldenEnd<'a> {
+    /// The golden run's exit code (convergence is only attempted for runs
+    /// that exited cleanly).
+    pub exit_code: i64,
+    /// The golden run's complete output stream.
+    pub output: &'a [OutEvent],
+    /// The golden run's final cycle count (including any per-fetch probe
+    /// overhead the profiling run paid).
+    pub cycles: u64,
+    /// The golden run's final retired-instruction count.
+    pub retired: u64,
+    /// Per-fetch probe overhead the *profiling* run paid that a detached
+    /// trial does not (PINFI's instrumentation tax); subtracted from the
+    /// spliced suffix cycles so trial timing matches native execution.
+    pub probe_overhead: u64,
+}
+
+/// What the convergence loop did for one trial.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ConvStats {
+    /// Did the trial converge with the golden run (outcome spliced)?
+    pub converged: bool,
+    /// Post-injection instructions actually executed under convergence
+    /// checking.
+    pub checked_instrs: u64,
+    /// Instructions *not* executed because the golden suffix was spliced.
+    pub saved_instrs: u64,
+}
+
 /// A completed machine run.
 #[derive(Debug, Clone)]
 pub struct RunResult {
@@ -147,6 +180,9 @@ pub struct Machine<'a> {
     output: Vec<OutEvent>,
     cycles: u64,
     instrs_retired: u64,
+    /// Incremental convergence hasher; `Some` only while a convergence
+    /// loop's tracked region is active.
+    conv: Option<Box<ConvHasher>>,
 }
 
 impl<'a> Machine<'a> {
@@ -165,6 +201,7 @@ impl<'a> Machine<'a> {
             output: Vec::new(),
             cycles: 0,
             instrs_retired: 0,
+            conv: None,
         };
         m.regs[SP as usize] = STACK_TOP;
         m
@@ -191,7 +228,9 @@ impl<'a> Machine<'a> {
         tracer: Option<&mut dyn Tracer>,
     ) -> RunResult {
         let mut m = Machine::new(binary, cfg);
-        let outcome = m.exec_loop(cfg.max_cycles, rt, probe, tracer, None);
+        let outcome = m
+            .exec_loop(cfg.max_cycles, rt, probe, tracer, None, false)
+            .expect("exec_loop completes unless until_fired");
         m.into_result(outcome)
     }
 
@@ -210,9 +249,12 @@ impl<'a> Machine<'a> {
         probe: Option<&mut dyn Probe>,
         ckpt: &CheckpointConfig,
     ) -> (RunResult, CheckpointStore) {
-        let mut builder = CheckpointBuilder::new(ckpt);
+        let baseline = BaselineHashes::new(&binary.data, cfg.stack_words, ckpt.exempt_data_words);
+        let mut builder = CheckpointBuilder::new(ckpt, baseline);
         let mut m = Machine::new(binary, cfg);
-        let outcome = m.exec_loop(cfg.max_cycles, rt, probe, None, Some(&mut builder));
+        let outcome = m
+            .exec_loop(cfg.max_cycles, rt, probe, None, Some(&mut builder), false)
+            .expect("exec_loop completes unless until_fired");
         (m.into_result(outcome), builder.finish(cfg.stack_words))
     }
 
@@ -247,6 +289,7 @@ impl<'a> Machine<'a> {
             output: self.output.clone(),
             data_pages: diff_pages(&self.data, Some(&self.binary.data)),
             stack_pages: diff_pages(&self.stack, None),
+            digest: StateDigest::ZERO, // stamped by CheckpointBuilder::push
         }
     }
 
@@ -259,8 +302,27 @@ impl<'a> Machine<'a> {
         rt: &mut dyn FiRuntime,
         probe: Option<&mut dyn Probe>,
     ) -> RunResult {
-        let outcome = self.exec_loop(max_cycles, rt, probe, None, None);
+        let outcome = self
+            .exec_loop(max_cycles, rt, probe, None, None, false)
+            .expect("exec_loop completes unless until_fired");
         self.into_result(outcome)
+    }
+
+    /// Run the exact interpreter loop only until the fault *fires* (the
+    /// runtime or probe reports [`FiRuntime::fired`]/[`Probe::fired`]
+    /// after an instruction retires). Returns `Some(outcome)` if the run
+    /// ended first (the fault never fired — deterministically impossible
+    /// when the caller fast-forwarded to just below the target, but handled
+    /// for robustness), `None` once fired: the caller continues with a
+    /// convergence loop ([`Machine::run_converging_calls`] /
+    /// [`Machine::run_converging_probed`]) or [`Machine::finish_run`].
+    pub fn run_exact_until_fired(
+        &mut self,
+        max_cycles: u64,
+        rt: &mut dyn FiRuntime,
+        probe: Option<&mut dyn Probe>,
+    ) -> Option<RunOutcome> {
+        self.exec_loop(max_cycles, rt, probe, None, None, true)
     }
 
     /// Package a finished (or fast-path-terminated) machine into a
@@ -277,6 +339,11 @@ impl<'a> Machine<'a> {
     /// The exact interpreter loop shared by every entry point: probe
     /// consultation, virtual runtime dispatch, post-retirement injection,
     /// tracing, and (for checkpointed profiling runs) snapshot capture.
+    ///
+    /// With `until_fired` set, the loop additionally stops (returning
+    /// `None`) right after the instruction on which the runtime or probe
+    /// fired its fault; otherwise it always runs to completion and returns
+    /// `Some(outcome)`.
     fn exec_loop(
         &mut self,
         max_cycles: u64,
@@ -284,12 +351,13 @@ impl<'a> Machine<'a> {
         mut probe: Option<&mut dyn Probe>,
         mut tracer: Option<&mut dyn Tracer>,
         mut builder: Option<&mut CheckpointBuilder>,
-    ) -> RunOutcome {
+        until_fired: bool,
+    ) -> Option<RunOutcome> {
         // When a probe is attached it owns the FI-event counter (PINFI);
         // otherwise the runtime does. If an attached probe detaches, the
         // counter source is gone and snapshotting stops.
         let probe_counts = probe.is_some();
-        loop {
+        let outcome = loop {
             if self.cycles >= max_cycles {
                 break RunOutcome::Timeout;
             }
@@ -301,32 +369,34 @@ impl<'a> Machine<'a> {
             // --- DBI probe (PIN analogue).
             let mut inject: Option<(usize, u32)> = None;
             let mut inject_mask: Option<(usize, u64)> = None;
+            let mut probe_fired = false;
             if let Some(p) = probe.as_deref_mut() {
                 self.cycles += p.overhead_cycles();
+                let mut detach = false;
                 match p.before(self.pc, &instr, self.instrs_retired) {
                     ProbeAction::Continue => {}
-                    ProbeAction::Detach => probe = None,
-                    ProbeAction::InjectAfter { op, bit, detach } => {
+                    ProbeAction::Detach => detach = true,
+                    ProbeAction::InjectAfter { op, bit, detach: d } => {
                         inject = Some((op, bit));
-                        if detach {
-                            probe = None;
-                        }
+                        detach = d;
                     }
-                    ProbeAction::Substitute { instr: sub, detach } => {
+                    ProbeAction::Substitute { instr: sub, detach: d } => {
                         instr = sub;
-                        if detach {
-                            probe = None;
-                        }
+                        detach = d;
                     }
                     ProbeAction::IllegalInstr => {
                         break RunOutcome::Trap(Trap::IllegalInstr);
                     }
-                    ProbeAction::InjectMaskAfter { op, mask, detach } => {
+                    ProbeAction::InjectMaskAfter { op, mask, detach: d } => {
                         inject_mask = Some((op, mask));
-                        if detach {
-                            probe = None;
-                        }
+                        detach = d;
                     }
+                }
+                if until_fired {
+                    probe_fired = p.fired();
+                }
+                if detach {
+                    probe = None;
                 }
             }
             // --- Execute.
@@ -371,7 +441,14 @@ impl<'a> Machine<'a> {
                     }
                 }
             }
-        }
+            // --- Fired-fault handoff to the convergence loop. The firing
+            // instruction (and its post-retirement injection) has fully
+            // executed by this point.
+            if until_fired && (probe_fired || rt.fired()) {
+                return None;
+            }
+        };
+        Some(outcome)
     }
 
     /// The quiescent fast path for call-hook tools (REFINE, LLFI): run
@@ -443,6 +520,176 @@ impl<'a> Machine<'a> {
         None
     }
 
+    /// Post-injection convergence loop for call-hook tools (REFINE, LLFI):
+    /// continue from the just-fired state under a counting-only runtime,
+    /// comparing the incremental state digest against each golden snapshot
+    /// when the trial reaches the snapshot's `(fi_count, pc)` position; on
+    /// match, splice the golden suffix and return its outcome. `rt.count`
+    /// must hold the FI-event count *after* the fault fired (identical to
+    /// what the profiling run had counted at the same point on
+    /// convergence).
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_converging_calls(
+        &mut self,
+        pre: &Predecoded,
+        rt: &mut QuiescentRt,
+        store: &CheckpointStore,
+        golden: GoldenEnd<'_>,
+        max_cycles: u64,
+        stats: &mut ConvStats,
+    ) -> RunOutcome {
+        self.converge_core::<QuiescentRt, false>(pre, rt, &mut 0, store, golden, max_cycles, stats)
+    }
+
+    /// Post-injection convergence loop for the probed tool (PINFI). The
+    /// trial runs *detached* (no probe overhead), but `count` keeps
+    /// tallying FI targets at fetch exactly as the attached profiling run
+    /// did, so digest FI counters are comparable. `count` must hold the
+    /// injector's event count at fire time (== its target).
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_converging_probed(
+        &mut self,
+        pre: &Predecoded,
+        count: &mut u64,
+        store: &CheckpointStore,
+        golden: GoldenEnd<'_>,
+        max_cycles: u64,
+        stats: &mut ConvStats,
+    ) -> RunOutcome {
+        let mut rt = NoFi;
+        self.converge_core::<NoFi, true>(pre, &mut rt, count, store, golden, max_cycles, stats)
+    }
+
+    /// Shared monomorphized convergence loop. `PROBED` selects the PINFI
+    /// FI-counter discipline (count targets at fetch via `count`) over the
+    /// call-hook one (`rt.fi_count()`). Execution accounting is identical
+    /// to the exact loop with no probe attached, so a non-converging trial
+    /// finishes bit-identically to [`Machine::finish_run`].
+    ///
+    /// Snapshots are matched by `(fi_count, pc)`, not retired count: for
+    /// the call-hook tools the taken injection branch retires instructions
+    /// the quiescent golden run never executed, so post-fire the trial's
+    /// retired counter is permanently skewed against golden's. The FI-event
+    /// counter is injection-invariant (the extra branch instructions are
+    /// runtime-call plumbing, not FI events), so a trial whose state
+    /// re-converges passes through every later golden snapshot at exactly
+    /// the snapshot's FI count and pc — where the full-state digest decides
+    /// — while the splice adds golden's *suffix deltas* onto the trial's
+    /// own counters, absorbing the skew without measuring it.
+    #[allow(clippy::too_many_arguments)]
+    fn converge_core<R: FiRuntime + ?Sized, const PROBED: bool>(
+        &mut self,
+        pre: &Predecoded,
+        rt: &mut R,
+        count: &mut u64,
+        store: &CheckpointStore,
+        golden: GoldenEnd<'_>,
+        max_cycles: u64,
+        stats: &mut ConvStats,
+    ) -> RunOutcome {
+        debug_assert_eq!(pre.len(), self.binary.text.len());
+        let entry_retired = self.instrs_retired;
+        let fi_entry = if PROBED { *count } else { rt.fi_count() };
+        // First candidate: the earliest golden snapshot whose FI-event
+        // window the trial has not passed yet (fi_count is monotone along
+        // the run under both count disciplines).
+        let mut cursor = store.checkpoints.partition_point(|c| c.fi_count < fi_entry);
+        let mut inited = false;
+        let outcome = 'run: loop {
+            // Skip snapshots whose FI-event window has already passed
+            // without a state match (the while handles adjacent snapshots
+            // with equal counts, which interval thinning can produce).
+            let fi = if PROBED { *count } else { rt.fi_count() };
+            while store.checkpoints.get(cursor).is_some_and(|c| c.fi_count < fi) {
+                cursor += 1;
+            }
+            if let Some(ck) = store.checkpoints.get(cursor) {
+                if ck.fi_count == fi && ck.pc == self.pc {
+                    if !inited {
+                        // One full scan seeds the hasher; later checks pay
+                        // only for pages written since.
+                        self.conv = Some(Box::new(ConvHasher::scan(
+                            &store.baseline,
+                            &self.data,
+                            &self.binary.data,
+                            &self.stack,
+                            &self.output,
+                        )));
+                        inited = true;
+                    }
+                    let digest = self.conv_refresh(fi);
+                    if digest == ck.digest {
+                        // Converged: the remainder is deterministic and
+                        // equal to the golden run's from this snapshot on.
+                        // Add golden's suffix deltas onto the trial's own
+                        // counters (absorbing any injection-branch skew)
+                        // and correct for probe overhead the profiling run
+                        // paid but a detached post-fire trial does not
+                        // (the +1 fetch is the final non-retiring Halt).
+                        // Only splice when the spliced timing could not
+                        // have hit the cycle budget mid-suffix (cycles are
+                        // monotone, so final < budget implies no interior
+                        // timeout); otherwise keep executing — correct
+                        // either way.
+                        let suffix_retired = golden.retired - ck.retired;
+                        let suffix_fetches = suffix_retired + 1;
+                        let suffix_cycles = (golden.cycles - ck.cycles)
+                            - golden.probe_overhead * suffix_fetches;
+                        let final_cycles = self.cycles + suffix_cycles;
+                        if final_cycles < max_cycles {
+                            stats.converged = true;
+                            stats.checked_instrs = self.instrs_retired - entry_retired;
+                            stats.saved_instrs = suffix_retired;
+                            self.cycles = final_cycles;
+                            self.instrs_retired += suffix_retired;
+                            self.output.clear();
+                            self.output.extend_from_slice(golden.output);
+                            break 'run RunOutcome::Exit(golden.exit_code);
+                        }
+                    }
+                }
+            }
+            // One instruction: mirrors the exact loop's accounting (timeout
+            // before fetch, predecoded cost, FI-target tally for PROBED),
+            // with page write tracking once the hasher is live.
+            if self.cycles >= max_cycles {
+                break 'run RunOutcome::Timeout;
+            }
+            let Some(e) = pre.entry(self.pc) else {
+                break 'run RunOutcome::Trap(Trap::BadPc(self.pc as u64));
+            };
+            self.cycles += e.cost;
+            if PROBED && e.is_target {
+                *count += 1;
+            }
+            let stepped = if inited {
+                self.step_t::<R, true>(&e.instr, rt)
+            } else {
+                self.step_t::<R, false>(&e.instr, rt)
+            };
+            match stepped {
+                Ok(Step::Continue) => self.instrs_retired += 1,
+                Ok(Step::Halt(code)) => break 'run RunOutcome::Exit(code),
+                Err(t) => break 'run RunOutcome::Trap(t),
+            }
+        };
+        self.conv = None;
+        if !stats.converged {
+            stats.checked_instrs = self.instrs_retired - entry_retired;
+        }
+        outcome
+    }
+
+    /// Refresh the active convergence hasher against current memory and
+    /// output and produce the boundary digest.
+    fn conv_refresh(&mut self, fi_count: u64) -> StateDigest {
+        let mut c = self.conv.take().expect("convergence hasher active");
+        c.refresh(&self.data, &self.stack, &self.output);
+        let d = c.digest(&self.regs, &self.fregs, self.flags, self.pc, fi_count);
+        self.conv = Some(c);
+        d
+    }
+
     /// XOR a full mask into an architectural register (multi-bit faults).
     pub fn xor_mask(&mut self, reg: Reg, mask: u64) {
         match reg {
@@ -477,7 +724,10 @@ impl<'a> Machine<'a> {
         Err(Trap::Segfault(addr))
     }
 
-    fn mem_write(&mut self, addr: u64, val: u64) -> Result<(), Trap> {
+    /// Memory write, optionally marking the written page in the active
+    /// convergence hasher. `TRACK` is const so the untracked paths compile
+    /// to exactly the pre-convergence store.
+    fn mem_write_t<const TRACK: bool>(&mut self, addr: u64, val: u64) -> Result<(), Trap> {
         if !addr.is_multiple_of(8) {
             return Err(Trap::Misaligned(addr));
         }
@@ -485,11 +735,22 @@ impl<'a> Machine<'a> {
             let w = (addr - GLOBAL_BASE) / 8;
             if (w as usize) < self.data.len() {
                 self.data[w as usize] = val;
+                if TRACK {
+                    if let Some(c) = self.conv.as_mut() {
+                        c.mark_data((w as usize / PAGE_WORDS) as u32);
+                    }
+                }
                 return Ok(());
             }
         }
         if addr >= self.stack_base && addr < STACK_TOP {
-            self.stack[((addr - self.stack_base) / 8) as usize] = val;
+            let w = ((addr - self.stack_base) / 8) as usize;
+            self.stack[w] = val;
+            if TRACK {
+                if let Some(c) = self.conv.as_mut() {
+                    c.mark_stack((w / PAGE_WORDS) as u32);
+                }
+            }
             return Ok(());
         }
         Err(Trap::Segfault(addr))
@@ -556,10 +817,10 @@ impl<'a> Machine<'a> {
         Ok(res)
     }
 
-    fn push(&mut self, val: u64) -> Result<(), Trap> {
+    fn push_t<const TRACK: bool>(&mut self, val: u64) -> Result<(), Trap> {
         let sp = self.regs[SP as usize].wrapping_sub(8);
         self.regs[SP as usize] = sp;
-        self.mem_write(sp, val)
+        self.mem_write_t::<TRACK>(sp, val)
     }
 
     fn pop(&mut self) -> Result<u64, Trap> {
@@ -570,6 +831,17 @@ impl<'a> Machine<'a> {
     }
 
     fn step<R: FiRuntime + ?Sized>(&mut self, instr: &MInstr, rt: &mut R) -> Result<Step, Trap> {
+        self.step_t::<R, false>(instr, rt)
+    }
+
+    /// One-instruction dispatch; `TRACK` threads page write tracking to the
+    /// store paths for the convergence loop (false compiles to the exact
+    /// pre-existing interpreter step).
+    fn step_t<R: FiRuntime + ?Sized, const TRACK: bool>(
+        &mut self,
+        instr: &MInstr,
+        rt: &mut R,
+    ) -> Result<Step, Trap> {
         let mut next = self.pc + 1;
         match *instr {
             MInstr::Nop => {}
@@ -635,7 +907,7 @@ impl<'a> Machine<'a> {
             }
             MInstr::St { rs, mem } => {
                 let a = self.eff_addr(&mem);
-                self.mem_write(a, self.regs[rs as usize])?;
+                self.mem_write_t::<TRACK>(a, self.regs[rs as usize])?;
             }
             MInstr::FLd { fd, mem } => {
                 let a = self.eff_addr(&mem);
@@ -643,9 +915,9 @@ impl<'a> Machine<'a> {
             }
             MInstr::FSt { fs, mem } => {
                 let a = self.eff_addr(&mem);
-                self.mem_write(a, self.fregs[fs as usize])?;
+                self.mem_write_t::<TRACK>(a, self.fregs[fs as usize])?;
             }
-            MInstr::Push { rs } => self.push(self.regs[rs as usize])?,
+            MInstr::Push { rs } => self.push_t::<TRACK>(self.regs[rs as usize])?,
             MInstr::Pop { rd } => {
                 let v = self.pop()?;
                 self.regs[rd as usize] = v;
@@ -657,7 +929,7 @@ impl<'a> Machine<'a> {
                 }
             }
             MInstr::Call { target } => {
-                self.push(next as u64)?;
+                self.push_t::<TRACK>(next as u64)?;
                 next = target;
             }
             MInstr::Ret => {

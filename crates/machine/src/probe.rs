@@ -67,6 +67,13 @@ pub trait Probe {
     fn fi_count(&self) -> u64 {
         0
     }
+
+    /// Has this probe injected its fault yet? Drives the fired-fault
+    /// handoff of [`crate::Machine::run_exact_until_fired`]; probes that
+    /// never inject report `false`.
+    fn fired(&self) -> bool {
+        false
+    }
 }
 
 /// A probe that merely counts instructions matching a predicate — the

@@ -28,6 +28,13 @@ pub trait FiRuntime {
     fn fi_count(&self) -> u64 {
         0
     }
+
+    /// Has this runtime injected its fault yet? Drives the fired-fault
+    /// handoff of [`crate::Machine::run_exact_until_fired`]; runtimes that
+    /// never fire report `false`.
+    fn fired(&self) -> bool {
+        false
+    }
 }
 
 /// The counting-only runtime of the checkpoint fast path: semantically

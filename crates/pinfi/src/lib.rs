@@ -132,6 +132,10 @@ impl Probe for PinfiInjector {
     fn fi_count(&self) -> u64 {
         self.count
     }
+
+    fn fired(&self) -> bool {
+        self.log.is_some()
+    }
 }
 
 /// Replay a recorded PINFI fault exactly.

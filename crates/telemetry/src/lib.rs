@@ -30,7 +30,10 @@ pub mod progress;
 pub mod span;
 pub mod trace;
 
-pub use metrics::{registry, ArtifactCacheSnapshot, CheckpointSnapshot, MetricsSnapshot, OutcomeKind};
+pub use metrics::{
+    registry, ArtifactCacheSnapshot, CheckpointSnapshot, ConvergenceSnapshot, MetricsSnapshot,
+    OutcomeKind,
+};
 pub use progress::Progress;
 pub use span::{Phase, PhaseTimer, Span};
 pub use trace::{TraceBuffer, TraceSink, TrialTrace};

@@ -229,6 +229,13 @@ pub struct Registry {
     pub checkpoint_cold: Counter,
     /// Dynamic instructions skipped per checkpoint restore.
     pub checkpoint_skipped_instrs: Histogram,
+    /// Trials whose post-injection state converged with the golden run and
+    /// whose outcome was spliced.
+    pub convergence_hits: Counter,
+    /// Post-injection instructions executed under convergence checking.
+    pub convergence_checked_instrs: Histogram,
+    /// Instructions skipped per convergence hit (golden-suffix splice).
+    pub convergence_saved_instrs: Histogram,
 }
 
 static REGISTRY: Registry = Registry::new();
@@ -253,6 +260,9 @@ impl Registry {
             checkpoint_restores: Counter::new(),
             checkpoint_cold: Counter::new(),
             checkpoint_skipped_instrs: Histogram::new(),
+            convergence_hits: Counter::new(),
+            convergence_checked_instrs: Histogram::new(),
+            convergence_saved_instrs: Histogram::new(),
         }
     }
 
@@ -307,8 +317,24 @@ impl Registry {
                 cold: self.checkpoint_cold.get(),
                 skipped_instrs: self.checkpoint_skipped_instrs.snapshot(),
             },
+            convergence: ConvergenceSnapshot {
+                hits: self.convergence_hits.get(),
+                checked_instrs: self.convergence_checked_instrs.snapshot(),
+                saved_instrs: self.convergence_saved_instrs.snapshot(),
+            },
         }
     }
+}
+
+/// Serializable golden-convergence early-exit statistics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConvergenceSnapshot {
+    /// Trials whose outcome was spliced from the golden run.
+    pub hits: u64,
+    /// Post-injection instructions executed under convergence checking.
+    pub checked_instrs: HistogramSnapshot,
+    /// Instructions skipped per convergence hit.
+    pub saved_instrs: HistogramSnapshot,
 }
 
 /// Serializable checkpoint fast-forward statistics.
@@ -375,6 +401,8 @@ pub struct MetricsSnapshot {
     pub artifact_cache: ArtifactCacheSnapshot,
     /// Checkpoint fast-forward statistics.
     pub checkpoint: CheckpointSnapshot,
+    /// Golden-convergence early-exit statistics.
+    pub convergence: ConvergenceSnapshot,
 }
 
 #[cfg(test)]

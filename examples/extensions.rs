@@ -80,7 +80,7 @@ fn main() {
 
     // --- 4. Instruction-class ablation.
     println!();
-    let cfg = CampaignConfig { trials: 100, seed: 7, jobs: 0, checkpoint: true };
+    let cfg = CampaignConfig { trials: 100, seed: 7, jobs: 0, checkpoint: true, ..CampaignConfig::default() };
     print!(
         "{}",
         experiments::class_ablation(&["XSBench".to_string()], &cfg)

@@ -16,7 +16,7 @@ fn main() {
     let program = refine_benchmarks::by_name("HPCCG-1.0").unwrap();
     println!("campaign: {} ({}), {} trials per tool", program.name, program.input, trials);
     let module = program.module();
-    let cfg = CampaignConfig { trials, seed: 2017, jobs: 0, checkpoint: true };
+    let cfg = CampaignConfig { trials, seed: 2017, jobs: 0, checkpoint: true, ..CampaignConfig::default() };
 
     let mut results = Vec::new();
     for tool in Tool::all() {

@@ -52,7 +52,7 @@ fn populations_and_golden_identical_for_refine_and_pinfi() {
 #[test]
 fn refine_tracks_pinfi_better_than_llfi() {
     let m = subject();
-    let cfg = CampaignConfig { trials: 300, seed: 20170612, jobs: 4, checkpoint: true };
+    let cfg = CampaignConfig { trials: 300, seed: 20170612, jobs: 4, checkpoint: true, ..CampaignConfig::default() };
     let llfi = run_campaign(&m, Tool::Llfi, &cfg);
     let refine = run_campaign(&m, Tool::Refine, &cfg);
     let pinfi = run_campaign(&m, Tool::Pinfi, &cfg);
@@ -79,7 +79,7 @@ fn refine_tracks_pinfi_better_than_llfi() {
 #[test]
 fn campaign_speed_shape() {
     let m = subject();
-    let cfg = CampaignConfig { trials: 60, seed: 4, jobs: 4, checkpoint: true };
+    let cfg = CampaignConfig { trials: 60, seed: 4, jobs: 4, checkpoint: true, ..CampaignConfig::default() };
     let llfi = run_campaign(&m, Tool::Llfi, &cfg);
     let refine = run_campaign(&m, Tool::Refine, &cfg);
     let pinfi = run_campaign(&m, Tool::Pinfi, &cfg);

@@ -43,7 +43,7 @@ fn workflow_profile_then_inject_then_classify() {
 #[test]
 fn campaigns_deterministic_and_complete() {
     let m = small_module();
-    let cfg = CampaignConfig { trials: 50, seed: 11, jobs: 4, checkpoint: true };
+    let cfg = CampaignConfig { trials: 50, seed: 11, jobs: 4, checkpoint: true, ..CampaignConfig::default() };
     for tool in Tool::all() {
         let a = run_campaign(&m, tool, &cfg);
         let b = run_campaign(&m, tool, &cfg);
@@ -57,7 +57,7 @@ fn campaigns_deterministic_and_complete() {
 #[test]
 fn outcome_diversity() {
     let m = small_module();
-    let cfg = CampaignConfig { trials: 80, seed: 5, jobs: 4, checkpoint: true };
+    let cfg = CampaignConfig { trials: 80, seed: 5, jobs: 4, checkpoint: true, ..CampaignConfig::default() };
     for tool in Tool::all() {
         let r = run_campaign(&m, tool, &cfg);
         let nonzero = [r.counts.crash, r.counts.soc, r.counts.benign]

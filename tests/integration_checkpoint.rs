@@ -26,7 +26,7 @@ fn all_apps() -> Vec<String> {
 /// Run the whole-suite sweep and return the serialized outcome table plus
 /// the trace records sorted by (app, tool, trial id).
 fn sweep(jobs: usize, checkpoint: bool) -> (String, Vec<TrialTrace>) {
-    let cfg = CampaignConfig { trials: TRIALS, seed: 0xC4A7, jobs, checkpoint };
+    let cfg = CampaignConfig { trials: TRIALS, seed: 0xC4A7, jobs, checkpoint, ..CampaignConfig::default() };
     let (sink, buf) = TraceSink::in_memory();
     let apps = all_apps();
     let (suite, _report) = {

@@ -16,7 +16,7 @@ const APPS: [&str; 2] = ["HPCCG-1.0", "CoMD"];
 /// outcome table, the trace records sorted by (app, tool, trial id), and
 /// the run's cache statistics.
 fn sweep(jobs: usize) -> (String, Vec<TrialTrace>, CacheStats) {
-    let cfg = CampaignConfig { trials: TRIALS, seed: 0xD37, jobs, checkpoint: true };
+    let cfg = CampaignConfig { trials: TRIALS, seed: 0xD37, jobs, checkpoint: true, ..CampaignConfig::default() };
     let (sink, buf) = TraceSink::in_memory();
     let apps: Vec<String> = APPS.iter().map(|s| s.to_string()).collect();
     let (suite, report) = {

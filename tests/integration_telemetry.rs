@@ -15,7 +15,7 @@ const TRIALS: u64 = 32;
 fn traced_campaign_emits_one_record_per_trial() {
     refine_telemetry::enable();
     let module = refine_benchmarks::by_name("matmul").expect("matmul extra exists").module();
-    let cfg = CampaignConfig { trials: TRIALS, seed: 0xC0FFEE, jobs: 2, checkpoint: true };
+    let cfg = CampaignConfig { trials: TRIALS, seed: 0xC0FFEE, jobs: 2, checkpoint: true, ..CampaignConfig::default() };
 
     let dir = std::env::temp_dir().join("refine-telemetry-integration");
     std::fs::create_dir_all(&dir).unwrap();
@@ -123,7 +123,7 @@ fn untraced_campaign_is_unchanged_by_observers() {
     // app name is part of that identity — it salts the per-trial fault
     // streams (`program_salt`) — so it is held fixed here.
     let module = refine_benchmarks::by_name("matmul").unwrap().module();
-    let cfg = CampaignConfig { trials: 16, seed: 9, jobs: 2, checkpoint: true };
+    let cfg = CampaignConfig { trials: 16, seed: 9, jobs: 2, checkpoint: true, ..CampaignConfig::default() };
     let prepared = PreparedTool::prepare(&module, Tool::Refine);
 
     let bare = CampaignHooks { app: "matmul", sink: None, progress: None };
