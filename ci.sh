@@ -49,9 +49,35 @@ if [ "$CK" != "$NV" ]; then
 fi
 echo "   identical tables with convergence on and off"
 
+echo "== engine equivalence (default superblock vs --engine step)"
+# The superblock-fused engine must be invisible in every output: diff the
+# same sweep against the per-instruction exact interpreter.
+ST="$($EXP table6 --trials 12 --apps HPCCG-1.0,CoMD --seed 7 --jobs 4 --quiet --engine step 2>/dev/null)"
+if [ "$CK" != "$ST" ]; then
+    echo "engine equivalence FAILED: superblock and step outputs differ" >&2
+    diff <(printf '%s\n' "$CK") <(printf '%s\n' "$ST") >&2 || true
+    exit 1
+fi
+echo "   identical tables under both engines"
+
 echo "== trial_throughput bench (smoke)"
-# Fails on its own if the on/off sweeps mismatch; records trials/sec in
-# BENCH_trials.json.
+# Fails on its own if the on/off sweeps mismatch or the superblock engine
+# loses its cold speedup; records trials/sec in BENCH_trials.json.
 REFINE_SMOKE=1 cargo bench -q --offline -p refine-bench --bench trial_throughput
+
+echo "== perf floor gate (cold trials/sec vs BENCH_floor.json)"
+# Fail when the cold (checkpoint-off, superblock) throughput regresses more
+# than the committed tolerance below the committed floor.
+python3 - <<'PYGATE'
+import json, sys
+floor = json.load(open("BENCH_floor.json"))
+bench = json.load(open("BENCH_trials.json"))
+metric = floor["metric"]
+actual = bench[metric]
+limit = floor["floor_trials_per_sec"] * floor["tolerance"]
+print(f"   {metric}: measured {actual:.0f} trials/s, gate {limit:.0f} trials/s")
+if actual < limit:
+    sys.exit(f"perf floor gate FAILED: {actual:.0f} < {limit:.0f} trials/s")
+PYGATE
 
 echo "CI OK"

@@ -8,6 +8,10 @@
 //! thread all job counts necessarily measure alike — the printed per-jobs
 //! results double as a determinism check either way (identical outcome
 //! counts at every jobs count).
+//!
+//! Each jobs count is measured under both trial engines (`superblock` /
+//! `step`); the determinism check spans engines too, so any cross-engine
+//! divergence fails the bench.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use refine_campaign::engine::{
@@ -15,6 +19,7 @@ use refine_campaign::engine::{
     DEFAULT_BATCH,
 };
 use refine_campaign::tools::{PreparedTool, Tool};
+use refine_core::ExecEngine;
 use std::sync::Arc;
 
 const TRIALS: u64 = 60;
@@ -41,39 +46,46 @@ fn bench_engine_scaling(c: &mut Criterion) {
     let mut g = c.benchmark_group("engine_scaling");
     g.sample_size(10);
     let mut baseline: Option<(u64, u64, u64)> = None;
-    for jobs in [1usize, 2, 4, 8] {
-        let cfg = EngineConfig {
-            trials: TRIALS,
-            seed: SEED,
-            jobs,
-            batch: DEFAULT_BATCH,
-            checkpoint: true,
-            convergence: true,
-            checkpoint_interval: refine_machine::CheckpointConfig::default().interval,
-        };
-        // One instrumented run for the record (and the determinism check).
-        let report = run_sweep(&specs, &cfg, &ArtifactCache::new(), &EngineHooks::default());
-        let crashes: u64 = report.results.iter().map(|r| r.counts.crash).sum();
-        let socs: u64 = report.results.iter().map(|r| r.counts.soc).sum();
-        let cycles: u64 = report.results.iter().map(|r| r.total_cycles).sum();
-        println!(
-            "[engine] jobs={jobs} wall={:8.2}ms busy={:8.2}ms speedup={:.2}x \
-             crash={crashes} soc={socs}",
-            report.wall_ns as f64 / 1e6,
-            report.busy_ns as f64 / 1e6,
-            report.speedup(),
-        );
-        match baseline {
-            None => baseline = Some((crashes, socs, cycles)),
-            Some(b) => assert_eq!(
-                b,
-                (crashes, socs, cycles),
-                "jobs={jobs} changed campaign results — determinism violated"
-            ),
+    for engine in [ExecEngine::Superblock, ExecEngine::Step] {
+        for jobs in [1usize, 2, 4, 8] {
+            let cfg = EngineConfig {
+                trials: TRIALS,
+                seed: SEED,
+                jobs,
+                batch: DEFAULT_BATCH,
+                checkpoint: true,
+                convergence: true,
+                checkpoint_interval: refine_machine::CheckpointConfig::default().interval,
+                engine,
+            };
+            // One instrumented run for the record (and the determinism
+            // check, which spans jobs counts *and* engines).
+            let report = run_sweep(&specs, &cfg, &ArtifactCache::new(), &EngineHooks::default());
+            let crashes: u64 = report.results.iter().map(|r| r.counts.crash).sum();
+            let socs: u64 = report.results.iter().map(|r| r.counts.soc).sum();
+            let cycles: u64 = report.results.iter().map(|r| r.total_cycles).sum();
+            println!(
+                "[engine] engine={} jobs={jobs} wall={:8.2}ms busy={:8.2}ms speedup={:.2}x \
+                 crash={crashes} soc={socs}",
+                engine.name(),
+                report.wall_ns as f64 / 1e6,
+                report.busy_ns as f64 / 1e6,
+                report.speedup(),
+            );
+            match baseline {
+                None => baseline = Some((crashes, socs, cycles)),
+                Some(b) => assert_eq!(
+                    b,
+                    (crashes, socs, cycles),
+                    "engine={} jobs={jobs} changed campaign results — determinism violated",
+                    engine.name()
+                ),
+            }
+            let id = BenchmarkId::new(engine.name(), jobs);
+            g.bench_with_input(id, &cfg, |b, cfg| {
+                b.iter(|| run_sweep(&specs, cfg, &ArtifactCache::new(), &EngineHooks::default()))
+            });
         }
-        g.bench_with_input(BenchmarkId::from_parameter(jobs), &cfg, |b, cfg| {
-            b.iter(|| run_sweep(&specs, cfg, &ArtifactCache::new(), &EngineHooks::default()))
-        });
     }
     g.finish();
 }

@@ -5,7 +5,11 @@
 //!   golden-convergence early exit (the default path);
 //! * **convergence off** — checkpoint fast-forward only (`--no-convergence`,
 //!   the previous baseline);
-//! * **checkpoint off** — the cold full-execution path (`--no-checkpoint`).
+//! * **checkpoint off** — the cold full-execution path (`--no-checkpoint`)
+//!   under the superblock-fused engine;
+//! * **checkpoint off, step engine** — the same cold path on the
+//!   per-instruction exact interpreter (`--engine step`), isolating the
+//!   superblock engine's speedup where trials execute end to end.
 //!
 //! Artifacts are pre-prepared outside the timed region so the measurement
 //! isolates trial execution (prepare cost is `compile_overhead`'s subject;
@@ -22,7 +26,7 @@ use refine_campaign::engine::{
     DEFAULT_BATCH,
 };
 use refine_campaign::tools::{PreparedTool, Tool};
-use refine_core::CheckpointOptions;
+use refine_core::{CheckpointOptions, ExecEngine};
 use serde::Serialize;
 use std::sync::Arc;
 use std::time::Instant;
@@ -86,6 +90,7 @@ fn main() {
         checkpoint: true,
         convergence: true,
         checkpoint_interval: refine_machine::CheckpointConfig::default().interval,
+        engine: ExecEngine::Superblock,
     };
     let total = apps.len() as u64 * 3 * trials;
 
@@ -102,6 +107,16 @@ fn main() {
         &EngineConfig { checkpoint: false, convergence: false, ..cfg },
         reps,
     );
+    let off_step = measure(
+        &specs_off,
+        &EngineConfig {
+            checkpoint: false,
+            convergence: false,
+            engine: ExecEngine::Step,
+            ..cfg
+        },
+        reps,
+    );
 
     assert_eq!(
         conv.table, ckpt.table,
@@ -111,20 +126,31 @@ fn main() {
         ckpt.table, off.table,
         "checkpoint on/off sweeps diverged — fast-forward equivalence broken"
     );
+    assert_eq!(
+        off.table, off_step.table,
+        "superblock/step cold sweeps diverged — engine equivalence broken"
+    );
 
     let speedup_ckpt = ckpt.tps / off.tps.max(1e-9);
     let speedup_conv = conv.tps / ckpt.tps.max(1e-9);
+    let speedup_sb_cold = off.tps / off_step.tps.max(1e-9);
     let conv_hit_rate = conv.conv_hits as f64 / total.max(1) as f64;
     println!(
         "[trial_throughput] apps={} trials={trials} jobs=1: \
          conv={:.0} trials/s, ckpt={:.0} trials/s, off={:.0} trials/s, \
-         conv/ckpt={speedup_conv:.2}x, ckpt/off={speedup_ckpt:.2}x, \
+         off-step={:.0} trials/s, conv/ckpt={speedup_conv:.2}x, \
+         ckpt/off={speedup_ckpt:.2}x, superblock/step (cold)={speedup_sb_cold:.2}x, \
          conv hit rate={:.1}%",
         apps.len(),
         conv.tps,
         ckpt.tps,
         off.tps,
+        off_step.tps,
         100.0 * conv_hit_rate,
+    );
+    assert!(
+        speedup_sb_cold >= 1.5,
+        "superblock engine cold speedup {speedup_sb_cold:.2}x below the 1.5x floor"
     );
 
     let report = serde::Value::Map(vec![
@@ -138,8 +164,11 @@ fn main() {
         ("trials_per_sec_convergence_off".to_string(), ckpt.tps.to_value()),
         ("trials_per_sec_checkpoint_on".to_string(), ckpt.tps.to_value()),
         ("trials_per_sec_checkpoint_off".to_string(), off.tps.to_value()),
+        ("trials_per_sec_superblock_cold".to_string(), off.tps.to_value()),
+        ("trials_per_sec_step_cold".to_string(), off_step.tps.to_value()),
         ("speedup_convergence_vs_checkpoint".to_string(), speedup_conv.to_value()),
         ("speedup_on_vs_off".to_string(), speedup_ckpt.to_value()),
+        ("superblock_speedup_cold".to_string(), speedup_sb_cold.to_value()),
         ("conv_hit_rate".to_string(), conv_hit_rate.to_value()),
         ("results_identical".to_string(), true.to_value()),
     ]);

@@ -5,6 +5,7 @@
 //!                    [--trials N] [--seed S] [--jobs N] [--apps A,B,...]
 //!                    [--trace-out FILE] [--json] [--quiet] [--no-checkpoint]
 //!                    [--no-convergence] [--checkpoint-interval N]
+//!                    [--engine superblock|step]
 //! refine-experiments trace-summary FILE
 //! ```
 //!
@@ -36,12 +37,19 @@
 //!   exit only, keeping checkpoint fast-forward (same bit-identical
 //!   guarantee — the convergence differential oracle);
 //! * `--checkpoint-interval N` sets the initial golden-run snapshot
-//!   interval in retired instructions (default 2048; must be nonzero).
+//!   interval in retired instructions (default 2048; must be nonzero);
+//! * `--engine superblock|step` selects the trial execution engine:
+//!   `superblock` (default) dispatches fused straight-line instruction
+//!   runs, `step` is the per-instruction exact interpreter. Bit-identical
+//!   outcome tables and traces either way (`step` is the engine
+//!   differential oracle); like `--no-checkpoint`, this stays outside the
+//!   artifact-cache key.
 
 use refine_campaign::campaign::CampaignConfig;
 use refine_campaign::engine::EngineReport;
 use refine_campaign::experiments::{self, run_suite_sharded, SuiteObserver};
 use refine_campaign::tools::{PreparedTool, Tool};
+use refine_core::ExecEngine;
 use refine_telemetry::trace::{read_jsonl, TraceSummary};
 use refine_telemetry::TraceSink;
 use serde::Serialize;
@@ -51,7 +59,7 @@ fn usage() -> ! {
         "usage: refine-experiments [fig4|table4|table5|table6|fig5|samples|ablation|all] \
          [--trials N] [--seed S] [--jobs N] [--apps A,B,...] \
          [--trace-out FILE] [--json] [--quiet] [--no-checkpoint] \
-         [--no-convergence] [--checkpoint-interval N]\n\
+         [--no-convergence] [--checkpoint-interval N] [--engine superblock|step]\n\
          \x20      refine-experiments trace-summary FILE"
     );
     std::process::exit(2);
@@ -63,6 +71,19 @@ fn usage() -> ! {
 /// under OS oversubscription); `busy_ns` and `speedup_capped` are capped at
 /// what `jobs` workers could physically execute in `wall_ns`.
 fn engine_to_value(report: &EngineReport) -> serde::Value {
+    let sb_dispatches: u64 = report.stats.iter().map(|s| s.sb_dispatches).sum();
+    let sb_fused: u64 = report.stats.iter().map(|s| s.sb_fused_instrs).sum();
+    let sb_stepped: u64 = report.stats.iter().map(|s| s.sb_stepped_instrs).sum();
+    let sb_total = sb_fused + sb_stepped;
+    let superblock = serde::Value::Map(vec![
+        ("dispatches".to_string(), sb_dispatches.to_value()),
+        ("fused_instrs".to_string(), sb_fused.to_value()),
+        ("stepped_instrs".to_string(), sb_stepped.to_value()),
+        (
+            "fused_instr_share".to_string(),
+            (if sb_total == 0 { 0.0 } else { sb_fused as f64 / sb_total as f64 }).to_value(),
+        ),
+    ]);
     serde::Value::Map(vec![
         ("jobs".to_string(), (report.jobs as u64).to_value()),
         ("wall_ns".to_string(), report.wall_ns.to_value()),
@@ -72,6 +93,7 @@ fn engine_to_value(report: &EngineReport) -> serde::Value {
         ("speedup_capped".to_string(), report.speedup_capped().to_value()),
         ("cache_hit_rate".to_string(), report.cache.hit_rate().to_value()),
         ("cache".to_string(), report.cache.to_value()),
+        ("superblock".to_string(), superblock),
         ("campaigns".to_string(), report.stats.to_value()),
     ])
 }
@@ -159,6 +181,18 @@ fn main() {
             "--json" => json = true,
             "--quiet" => quiet = true,
             "--no-checkpoint" => cfg.checkpoint = false,
+            "--engine" => {
+                i += 1;
+                cfg.engine = args
+                    .get(i)
+                    .and_then(|s| ExecEngine::parse(s))
+                    .unwrap_or_else(|| {
+                        eprintln!(
+                            "refine-experiments: --engine must be `superblock` or `step`"
+                        );
+                        usage()
+                    });
+            }
             "--no-convergence" => cfg.convergence = false,
             "--checkpoint-interval" => {
                 i += 1;

@@ -16,6 +16,7 @@
 use crate::classify::{classify, Outcome};
 use crate::engine::{run_sweep, ArtifactCache, ArtifactSource, EngineCampaign, EngineHooks};
 use crate::tools::{PreparedTool, Tool};
+use refine_core::ExecEngine;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use refine_ir::Module;
@@ -87,6 +88,10 @@ pub struct CampaignConfig {
     /// Initial golden-run snapshot interval in retired instructions
     /// (`--checkpoint-interval`; must be nonzero).
     pub checkpoint_interval: u64,
+    /// Trial execution engine (`--engine {superblock,step}`). Both engines
+    /// are bit-identical; like `checkpoint`, this only changes wall-clock
+    /// time and stays outside the artifact-cache key.
+    pub engine: ExecEngine,
 }
 
 impl Default for CampaignConfig {
@@ -98,6 +103,7 @@ impl Default for CampaignConfig {
             checkpoint: true,
             convergence: true,
             checkpoint_interval: refine_machine::CheckpointConfig::default().interval,
+            engine: ExecEngine::default(),
         }
     }
 }
@@ -153,8 +159,10 @@ fn outcome_kind(o: Outcome) -> OutcomeKind {
 /// Execute one trial of a campaign: derive the fault-model stream, run the
 /// injection against the shared immutable artifact, classify, and feed the
 /// observers. This is the single trial path shared by every scheduler.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn execute_trial(
     prepared: &PreparedTool,
+    engine: ExecEngine,
     app: &str,
     app_salt: u64,
     campaign_seed: u64,
@@ -167,7 +175,7 @@ pub(crate) fn execute_trial(
     let target = rng.gen_range(1..=prepared.population);
     // Skip the clock read unless someone consumes it.
     let t0 = refine_telemetry::enabled().then(Instant::now);
-    let t = prepared.run_trial_full(target, s2);
+    let t = prepared.run_trial_engine(engine, target, s2);
     let (r, log, fast) = (t.result, t.log, t.fast);
     let outcome = classify(&prepared.golden, &r);
     {
@@ -185,6 +193,11 @@ pub(crate) fn execute_trial(
         if fast.conv_checked_instrs > 0 {
             reg.convergence_checked_instrs.record(fast.conv_checked_instrs);
         }
+        if fast.sb_dispatches > 0 {
+            reg.superblock_dispatches.add(fast.sb_dispatches);
+        }
+        reg.superblock_fused_instrs.add(fast.sb_fused_instrs);
+        reg.superblock_total_instrs.add(fast.sb_fused_instrs + fast.sb_stepped_instrs);
     }
 
     let trap = match r.outcome {

@@ -25,6 +25,7 @@ use crate::campaign::{execute_trial, program_salt, CampaignResult, OutcomeCounts
 use crate::classify::Outcome;
 use crate::tools::{PreparedTool, Tool};
 use parking_lot::Mutex;
+use refine_core::ExecEngine;
 use refine_ir::passes::OptLevel;
 use refine_ir::Module;
 use refine_telemetry::{Phase, Progress, Span, TraceSink};
@@ -225,6 +226,9 @@ pub struct EngineConfig {
     /// Initial checkpoint interval in retired instructions (must be
     /// nonzero; `--checkpoint-interval`).
     pub checkpoint_interval: u64,
+    /// Trial execution engine (fused superblocks or exact stepping).
+    /// Bit-identical either way; outside the artifact-cache key.
+    pub engine: ExecEngine,
 }
 
 impl EngineConfig {
@@ -238,6 +242,7 @@ impl EngineConfig {
             checkpoint: cfg.checkpoint,
             convergence: cfg.convergence,
             checkpoint_interval: cfg.checkpoint_interval,
+            engine: cfg.engine,
         }
     }
 
@@ -298,6 +303,13 @@ pub struct CampaignStats {
     pub conv_checked_instrs: u64,
     /// Dynamic instructions convergence splices skipped, summed.
     pub conv_saved_instrs: u64,
+    /// Fused superblock dispatches across this campaign's trials.
+    pub sb_dispatches: u64,
+    /// Dynamic instructions retired inside fused superblocks, summed.
+    pub sb_fused_instrs: u64,
+    /// Dynamic instructions retired by the engine's exact-step fallback
+    /// (FI windows, snapshot boundaries, budget edges), summed.
+    pub sb_stepped_instrs: u64,
 }
 
 /// A completed sweep: per-campaign results plus scheduling accounting.
@@ -363,6 +375,9 @@ struct CampaignAccum {
     conv_hits: AtomicU64,
     conv_checked_instrs: AtomicU64,
     conv_saved_instrs: AtomicU64,
+    sb_dispatches: AtomicU64,
+    sb_fused_instrs: AtomicU64,
+    sb_stepped_instrs: AtomicU64,
 }
 
 impl CampaignAccum {
@@ -381,6 +396,9 @@ impl CampaignAccum {
             conv_hits: AtomicU64::new(0),
             conv_checked_instrs: AtomicU64::new(0),
             conv_saved_instrs: AtomicU64::new(0),
+            sb_dispatches: AtomicU64::new(0),
+            sb_fused_instrs: AtomicU64::new(0),
+            sb_stepped_instrs: AtomicU64::new(0),
         }
     }
 }
@@ -465,6 +483,7 @@ pub fn run_sweep(
                         let t0 = Instant::now();
                         let (outcome, cycles, fast) = execute_trial(
                             &prepared,
+                            cfg.engine,
                             &campaigns[ci].app,
                             salts[ci],
                             cfg.seed,
@@ -492,6 +511,10 @@ pub fn run_sweep(
                         }
                         acc.conv_checked_instrs
                             .fetch_add(fast.conv_checked_instrs, Ordering::Relaxed);
+                        acc.sb_dispatches.fetch_add(fast.sb_dispatches, Ordering::Relaxed);
+                        acc.sb_fused_instrs.fetch_add(fast.sb_fused_instrs, Ordering::Relaxed);
+                        acc.sb_stepped_instrs
+                            .fetch_add(fast.sb_stepped_instrs, Ordering::Relaxed);
                         acc.last_ns.fetch_max(elapsed_ns(), Ordering::Relaxed);
                         if acc.done.fetch_add(1, Ordering::Relaxed) + 1 == cfg.trials {
                             if let Some(p) = hooks.progress {
@@ -552,6 +575,9 @@ pub fn run_sweep(
             conv_hits: acc.conv_hits.load(Ordering::Relaxed),
             conv_checked_instrs: acc.conv_checked_instrs.load(Ordering::Relaxed),
             conv_saved_instrs: acc.conv_saved_instrs.load(Ordering::Relaxed),
+            sb_dispatches: acc.sb_dispatches.load(Ordering::Relaxed),
+            sb_fused_instrs: acc.sb_fused_instrs.load(Ordering::Relaxed),
+            sb_stepped_instrs: acc.sb_stepped_instrs.load(Ordering::Relaxed),
         });
     }
 
@@ -589,6 +615,7 @@ mod tests {
             checkpoint: true,
             convergence: true,
             checkpoint_interval: refine_machine::CheckpointConfig::default().interval,
+            engine: ExecEngine::default(),
         }
     }
 

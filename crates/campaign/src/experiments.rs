@@ -171,13 +171,19 @@ pub fn engine_summary(report: &EngineReport) -> String {
     );
     let _ = writeln!(
         s,
-        "{:10} {:8} {:>10} {:>10} {:>9} {:>11} {:>9} {:>9}",
-        "app", "tool", "busy ms", "wall ms", "speedup", "prepare ms", "restores", "conv"
+        "{:10} {:8} {:>10} {:>10} {:>9} {:>11} {:>9} {:>9} {:>7}",
+        "app", "tool", "busy ms", "wall ms", "speedup", "prepare ms", "restores", "conv", "fused"
     );
     for cs in &report.stats {
+        let sb_total = cs.sb_fused_instrs + cs.sb_stepped_instrs;
+        let fused_share = if sb_total == 0 {
+            0.0
+        } else {
+            100.0 * cs.sb_fused_instrs as f64 / sb_total as f64
+        };
         let _ = writeln!(
             s,
-            "{:10} {:8} {:>10.1} {:>10.1} {:>8.2}x {:>11.1} {:>9} {:>9}",
+            "{:10} {:8} {:>10.1} {:>10.1} {:>8.2}x {:>11.1} {:>9} {:>9} {:>6.1}%",
             cs.app,
             cs.tool,
             cs.busy_ns as f64 / 1e6,
@@ -185,7 +191,8 @@ pub fn engine_summary(report: &EngineReport) -> String {
             cs.speedup,
             cs.prepare_ms,
             cs.ckpt_restores,
-            cs.conv_hits
+            cs.conv_hits,
+            fused_share
         );
     }
     s

@@ -1,15 +1,15 @@
 //! A uniform interface over the three fault injectors.
 
 use crate::classify::Golden;
-use refine_core::{CheckpointOptions, FaultRecord, FiOptions, InjectingRt, ProfilingRt};
+use refine_core::{CheckpointOptions, ExecEngine, FaultRecord, FiOptions, InjectingRt, ProfilingRt};
 use refine_ir::passes::OptLevel;
 use refine_ir::Module;
 use refine_machine::{
     Binary, CheckpointConfig, CheckpointStore, ConvStats, FiRuntime, GoldenEnd, Machine, NoFi,
-    Predecoded, Probe, QuiescentRt, RunConfig, RunOutcome, RunResult,
+    Predecoded, Probe, QuiescentRt, RunConfig, RunOutcome, RunResult, SbStats, SuperblockProgram,
 };
 use refine_pinfi::{PinfiInjector, PinfiProfiler, PIN_OVERHEAD_CYCLES};
-use refine_telemetry::{Phase, Span};
+use refine_telemetry::{registry, Phase, Span};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -70,6 +70,11 @@ pub struct PreparedTool {
     /// Detect post-injection golden convergence and splice the golden
     /// outcome (`--no-convergence` clears this; requires a fastpath).
     pub convergence: bool,
+    /// The predecoded, superblock-fused text section for the fused engine.
+    /// Always built (it embeds the exact-step [`Predecoded`] stream too)
+    /// and shared read-only across workers; `--engine step` simply ignores
+    /// the fusion metadata.
+    pub superblock: Arc<SuperblockProgram>,
 }
 
 /// The immutable fast-forward companion of a prepared binary: the
@@ -100,6 +105,13 @@ pub struct TrialFastStats {
     pub conv_checked_instrs: u64,
     /// Instructions not executed thanks to the golden-suffix splice.
     pub conv_saved_instrs: u64,
+    /// Fused superblock dispatches this trial (0 under `--engine step`).
+    pub sb_dispatches: u64,
+    /// Instructions retired through fused dispatch this trial.
+    pub sb_fused_instrs: u64,
+    /// Instructions retired via exact single-step fallback inside the
+    /// superblock loops this trial.
+    pub sb_stepped_instrs: u64,
 }
 
 impl TrialFastStats {
@@ -108,6 +120,13 @@ impl TrialFastStats {
         self.converged = stats.converged;
         self.conv_checked_instrs = stats.checked_instrs;
         self.conv_saved_instrs = stats.saved_instrs;
+    }
+
+    /// Fold one trial's superblock dispatch accounting into these stats.
+    fn apply_sb(&mut self, stats: &SbStats) {
+        self.sb_dispatches = stats.dispatches;
+        self.sb_fused_instrs = stats.fused_instrs;
+        self.sb_stepped_instrs = stats.stepped_instrs;
     }
 }
 
@@ -143,6 +162,14 @@ fn profile_run(
 /// First token of a disassembly line (`"add r1, r2, r3"` -> `"add"`).
 fn asm_mnemonic(asm: &str) -> String {
     asm.split_whitespace().next().unwrap_or("?").to_string()
+}
+
+/// Predecode + fuse one prepared binary under its telemetry span.
+fn build_superblock(binary: &Binary) -> Arc<SuperblockProgram> {
+    let _s = Span::enter(Phase::SuperblockBuild);
+    let sb = Arc::new(SuperblockProgram::new(binary));
+    registry().superblock_built.incr();
+    sb
 }
 
 impl PreparedTool {
@@ -198,6 +225,7 @@ impl PreparedTool {
         let fastpath = store.map(|store| {
             Arc::new(FastPath { pre: Predecoded::new(&binary), store, golden_run: profile })
         });
+        let superblock = build_superblock(&binary);
         PreparedTool {
             tool,
             binary,
@@ -209,6 +237,7 @@ impl PreparedTool {
             site_opcodes,
             fastpath,
             convergence: ckpt.enabled && ckpt.convergence,
+            superblock,
         }
     }
 
@@ -234,6 +263,7 @@ impl PreparedTool {
         let fastpath = store.map(|store| {
             Arc::new(FastPath { pre: Predecoded::new(&c.binary), store, golden_run: r })
         });
+        let superblock = build_superblock(&c.binary);
         PreparedTool {
             tool: Tool::Refine,
             binary: c.binary,
@@ -245,6 +275,7 @@ impl PreparedTool {
             site_opcodes,
             fastpath,
             convergence: ckpt.enabled && ckpt.convergence,
+            superblock,
         }
     }
 
@@ -261,17 +292,33 @@ impl PreparedTool {
         (t.result, t.log)
     }
 
-    /// Full trial execution: fast-forwards through the quiescent prefix via
-    /// the golden-run checkpoint store + predecoded loop when available,
-    /// falling back to [`PreparedTool::run_trial_exact`] otherwise. The two
-    /// paths are bit-identical (outcome, output, cycles, fault log) — the
-    /// quiescent prefix of an injection run is observationally equal to the
-    /// profiling run, so a profiling-run snapshot is an exact restore point
-    /// for any trial whose target event lies beyond it.
+    /// Full trial execution under the default engine
+    /// ([`ExecEngine::Superblock`]). Kept as the campaign-facing entry so
+    /// the whole existing differential suite exercises the fused engine
+    /// against [`PreparedTool::run_trial_exact`].
     pub fn run_trial_full(&self, target: u64, seed: u64) -> TrialRun {
+        self.run_trial_engine(ExecEngine::default(), target, seed)
+    }
+
+    /// Full trial execution: fast-forwards through the quiescent prefix via
+    /// the golden-run checkpoint store when available, dispatching the
+    /// quiescent / post-fire / convergence regions through `engine`'s loops
+    /// (fused superblocks or per-instruction exact stepping). All engine ×
+    /// checkpoint combinations are bit-identical (outcome, output, cycles,
+    /// fault log) — the quiescent prefix of an injection run is
+    /// observationally equal to the profiling run, so a profiling-run
+    /// snapshot is an exact restore point for any trial whose target event
+    /// lies beyond it, and the fused loops replicate the exact loops'
+    /// accounting instruction-for-instruction.
+    pub fn run_trial_engine(&self, engine: ExecEngine, target: u64, seed: u64) -> TrialRun {
         let Some(fp) = self.fastpath.as_deref() else {
-            return self.run_trial_exact(target, seed);
+            return match engine {
+                ExecEngine::Superblock => self.run_trial_cold_sb(target, seed),
+                ExecEngine::Step => self.run_trial_exact(target, seed),
+            };
         };
+        let sb = (engine == ExecEngine::Superblock).then(|| self.superblock.as_ref());
+        let mut sbs = SbStats::default();
         let cfg = RunConfig { max_cycles: self.timeout_cycles, stack_words: self.stack_words };
         let (mut m, count0, mut fast) = {
             let _s = Span::enter(Phase::CheckpointRestore);
@@ -289,76 +336,202 @@ impl PreparedTool {
         // itself (and everything after it).
         let stop = target.saturating_sub(1);
         let golden = self.golden_end(fp);
-        match self.tool {
-            Tool::Refine | Tool::Llfi => {
+        let mut run = match self.tool {
+            Tool::Refine | Tool::Llfi => 'run: {
                 let mut q = QuiescentRt::starting_at(count0);
-                if let Some(outcome) = m.run_quiescent_calls(&fp.pre, &mut q, stop, cfg.max_cycles)
-                {
+                let quiesced = match sb {
+                    Some(sb) => m.run_sb_calls(sb, &mut q, stop, cfg.max_cycles, &mut sbs),
+                    None => m.run_quiescent_calls(&fp.pre, &mut q, stop, cfg.max_cycles),
+                };
+                if let Some(outcome) = quiesced {
                     // Program ended (or timed out) before the target event:
                     // the injector would never have fired.
-                    return TrialRun { result: m.into_result(outcome), log: None, fast };
+                    break 'run TrialRun { result: m.into_result(outcome), log: None, fast };
                 }
                 let mut rt = InjectingRt::resume(target, seed, q.count);
                 let Some(golden) = golden else {
-                    let result = m.finish_run(cfg.max_cycles, &mut rt, None);
-                    return TrialRun { result, log: rt.log, fast };
+                    // Exact loop through the firing event, then the fused
+                    // loop (post-fire the injector is observationally
+                    // quiescent) or the attached exact run to the end.
+                    let outcome = match sb {
+                        Some(sb) => match m.run_exact_until_fired(cfg.max_cycles, &mut rt, None) {
+                            Some(outcome) => outcome,
+                            None => m
+                                .run_sb_calls(sb, &mut rt, u64::MAX, cfg.max_cycles, &mut sbs)
+                                .expect("cycle-bounded run terminates"),
+                        },
+                        None => {
+                            let result = m.finish_run(cfg.max_cycles, &mut rt, None);
+                            break 'run TrialRun { result, log: rt.log, fast };
+                        }
+                    };
+                    break 'run TrialRun { result: m.into_result(outcome), log: rt.log, fast };
                 };
                 // Exact loop only through the firing event, then the
                 // monomorphized convergence loop for the suffix.
                 if let Some(outcome) = m.run_exact_until_fired(cfg.max_cycles, &mut rt, None) {
-                    return TrialRun { result: m.into_result(outcome), log: rt.log, fast };
+                    break 'run TrialRun { result: m.into_result(outcome), log: rt.log, fast };
                 }
                 let mut stats = ConvStats::default();
                 let mut q = QuiescentRt::starting_at(rt.fi_count());
-                let outcome = m.run_converging_calls(
-                    &fp.pre,
-                    &mut q,
-                    &fp.store,
-                    golden,
-                    cfg.max_cycles,
-                    &mut stats,
-                );
+                let outcome = match sb {
+                    Some(sb) => m.run_sb_converging_calls(
+                        sb,
+                        &mut q,
+                        &fp.store,
+                        golden,
+                        cfg.max_cycles,
+                        &mut stats,
+                        &mut sbs,
+                    ),
+                    None => m.run_converging_calls(
+                        &fp.pre,
+                        &mut q,
+                        &fp.store,
+                        golden,
+                        cfg.max_cycles,
+                        &mut stats,
+                    ),
+                };
                 fast.apply(&stats);
                 TrialRun { result: m.into_result(outcome), log: rt.log, fast }
             }
-            Tool::Pinfi => {
+            Tool::Pinfi => 'run: {
                 let mut count = count0;
-                if let Some(outcome) = m.run_quiescent_probed(
-                    &fp.pre,
-                    PIN_OVERHEAD_CYCLES,
-                    &mut count,
-                    stop,
-                    cfg.max_cycles,
-                ) {
-                    return TrialRun { result: m.into_result(outcome), log: None, fast };
+                let quiesced = match sb {
+                    Some(sb) => m.run_sb_probed(
+                        sb,
+                        PIN_OVERHEAD_CYCLES,
+                        &mut count,
+                        stop,
+                        cfg.max_cycles,
+                        &mut sbs,
+                    ),
+                    None => m.run_quiescent_probed(
+                        &fp.pre,
+                        PIN_OVERHEAD_CYCLES,
+                        &mut count,
+                        stop,
+                        cfg.max_cycles,
+                    ),
+                };
+                if let Some(outcome) = quiesced {
+                    break 'run TrialRun { result: m.into_result(outcome), log: None, fast };
                 }
                 let mut probe = PinfiInjector::resume(target, seed, count);
                 let Some(golden) = golden else {
-                    let result = m.finish_run(cfg.max_cycles, &mut NoFi, Some(&mut probe));
-                    return TrialRun { result, log: probe.log, fast };
+                    // The probe detaches at fire, so post-fire execution is
+                    // probe-free: the fused loop with `NoFi` is exact.
+                    let outcome = match sb {
+                        Some(sb) => match m.run_exact_until_fired(
+                            cfg.max_cycles,
+                            &mut NoFi,
+                            Some(&mut probe),
+                        ) {
+                            Some(outcome) => outcome,
+                            None => m
+                                .run_sb_calls(sb, &mut NoFi, u64::MAX, cfg.max_cycles, &mut sbs)
+                                .expect("cycle-bounded run terminates"),
+                        },
+                        None => {
+                            let result = m.finish_run(cfg.max_cycles, &mut NoFi, Some(&mut probe));
+                            break 'run TrialRun { result, log: probe.log, fast };
+                        }
+                    };
+                    break 'run TrialRun { result: m.into_result(outcome), log: probe.log, fast };
                 };
                 if let Some(outcome) =
                     m.run_exact_until_fired(cfg.max_cycles, &mut NoFi, Some(&mut probe))
                 {
-                    return TrialRun { result: m.into_result(outcome), log: probe.log, fast };
+                    break 'run TrialRun { result: m.into_result(outcome), log: probe.log, fast };
                 }
                 let mut stats = ConvStats::default();
                 // The injector counted the firing event (== target) and
                 // detached; the convergence loop keeps tallying targets at
                 // fetch exactly as the attached profiling probe did.
                 let mut count = probe.fi_count();
-                let outcome = m.run_converging_probed(
-                    &fp.pre,
-                    &mut count,
-                    &fp.store,
-                    golden,
-                    cfg.max_cycles,
-                    &mut stats,
-                );
+                let outcome = match sb {
+                    Some(sb) => m.run_sb_converging_probed(
+                        sb,
+                        &mut count,
+                        &fp.store,
+                        golden,
+                        cfg.max_cycles,
+                        &mut stats,
+                        &mut sbs,
+                    ),
+                    None => m.run_converging_probed(
+                        &fp.pre,
+                        &mut count,
+                        &fp.store,
+                        golden,
+                        cfg.max_cycles,
+                        &mut stats,
+                    ),
+                };
                 fast.apply(&stats);
                 TrialRun { result: m.into_result(outcome), log: probe.log, fast }
             }
-        }
+        };
+        run.fast.apply_sb(&sbs);
+        run
+    }
+
+    /// Cold (no-fastpath) trial under the fused engine: the same quiescent
+    /// -> fire -> run-to-end structure as the warm path, from the initial
+    /// state. This is where `--no-checkpoint` campaigns get their
+    /// superblock speedup; bit-identical to
+    /// [`PreparedTool::run_trial_exact`] by the same resume argument as the
+    /// checkpoint path (the counting runtime consumes no RNG before the
+    /// fire, and the PINFI probe detaches at fire).
+    fn run_trial_cold_sb(&self, target: u64, seed: u64) -> TrialRun {
+        let sb = self.superblock.as_ref();
+        let mut sbs = SbStats::default();
+        let cfg = RunConfig { max_cycles: self.timeout_cycles, stack_words: self.stack_words };
+        let mut m = Machine::new(&self.binary, &cfg);
+        let stop = target.saturating_sub(1);
+        let fast = TrialFastStats::default();
+        let mut run = match self.tool {
+            Tool::Refine | Tool::Llfi => 'run: {
+                let mut q = QuiescentRt::default();
+                if let Some(outcome) = m.run_sb_calls(sb, &mut q, stop, cfg.max_cycles, &mut sbs)
+                {
+                    break 'run TrialRun { result: m.into_result(outcome), log: None, fast };
+                }
+                let mut rt = InjectingRt::resume(target, seed, q.count);
+                let outcome = match m.run_exact_until_fired(cfg.max_cycles, &mut rt, None) {
+                    Some(outcome) => outcome,
+                    None => m
+                        .run_sb_calls(sb, &mut rt, u64::MAX, cfg.max_cycles, &mut sbs)
+                        .expect("cycle-bounded run terminates"),
+                };
+                TrialRun { result: m.into_result(outcome), log: rt.log, fast }
+            }
+            Tool::Pinfi => 'run: {
+                let mut count = 0u64;
+                if let Some(outcome) = m.run_sb_probed(
+                    sb,
+                    PIN_OVERHEAD_CYCLES,
+                    &mut count,
+                    stop,
+                    cfg.max_cycles,
+                    &mut sbs,
+                ) {
+                    break 'run TrialRun { result: m.into_result(outcome), log: None, fast };
+                }
+                let mut probe = PinfiInjector::resume(target, seed, count);
+                let outcome =
+                    match m.run_exact_until_fired(cfg.max_cycles, &mut NoFi, Some(&mut probe)) {
+                        Some(outcome) => outcome,
+                        None => m
+                            .run_sb_calls(sb, &mut NoFi, u64::MAX, cfg.max_cycles, &mut sbs)
+                            .expect("cycle-bounded run terminates"),
+                    };
+                TrialRun { result: m.into_result(outcome), log: probe.log, fast }
+            }
+        };
+        run.fast.apply_sb(&sbs);
+        run
     }
 
     /// The golden run's terminal facts for convergence splicing, when

@@ -177,6 +177,42 @@ impl CheckpointOptions {
     }
 }
 
+/// Which trial execution engine the machine interpreter uses.
+///
+/// Like [`CheckpointOptions`], this is deliberately *not* part of any
+/// instrumentation fingerprint or artifact-cache key: both engines are
+/// bit-identical in every observable (outcomes, fault logs, cycles, retired
+/// counts, output, traces) — the choice only changes wall-clock cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecEngine {
+    /// Superblock-fused direct-threaded dispatch with exact-step fallback
+    /// at FI windows and snapshot boundaries (the default).
+    #[default]
+    Superblock,
+    /// The per-instruction exact interpreter everywhere (`--engine step`);
+    /// the reference the fused engine is differentially tested against.
+    Step,
+}
+
+impl ExecEngine {
+    /// Parse a `--engine` flag value.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "superblock" => Some(ExecEngine::Superblock),
+            "step" => Some(ExecEngine::Step),
+            _ => None,
+        }
+    }
+
+    /// Stable flag-value name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ExecEngine::Superblock => "superblock",
+            ExecEngine::Step => "step",
+        }
+    }
+}
+
 const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
 const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
 

@@ -36,6 +36,7 @@ pub mod isa;
 pub mod machine;
 pub mod probe;
 pub mod rt;
+pub mod superblock;
 
 pub use binary::{Binary, Symbol};
 pub use checkpoint::{Checkpoint, CheckpointConfig, CheckpointStore, Predecoded};
@@ -47,3 +48,4 @@ pub use machine::{
 };
 pub use probe::{Probe, ProbeAction};
 pub use rt::{FiRuntime, NoFi, QuiescentRt};
+pub use superblock::{SbStats, SuperblockProgram};

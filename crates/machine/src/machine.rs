@@ -168,21 +168,25 @@ impl Default for RunConfig {
 }
 
 /// The machine state during one run.
+///
+/// Fields are `pub(crate)` so the superblock engine
+/// ([`crate::superblock`]) can implement its fused dispatch loops as
+/// sibling inherent impls without accessor overhead.
 pub struct Machine<'a> {
-    binary: &'a Binary,
-    regs: [u64; 16],
-    fregs: [u64; 16],
-    flags: u8,
-    pc: u32,
-    data: Vec<u64>,
-    stack: Vec<u64>,
-    stack_base: u64,
-    output: Vec<OutEvent>,
-    cycles: u64,
-    instrs_retired: u64,
+    pub(crate) binary: &'a Binary,
+    pub(crate) regs: [u64; 16],
+    pub(crate) fregs: [u64; 16],
+    pub(crate) flags: u8,
+    pub(crate) pc: u32,
+    pub(crate) data: Vec<u64>,
+    pub(crate) stack: Vec<u64>,
+    pub(crate) stack_base: u64,
+    pub(crate) output: Vec<OutEvent>,
+    pub(crate) cycles: u64,
+    pub(crate) instrs_retired: u64,
     /// Incremental convergence hasher; `Some` only while a convergence
     /// loop's tracked region is active.
-    conv: Option<Box<ConvHasher>>,
+    pub(crate) conv: Option<Box<ConvHasher>>,
 }
 
 impl<'a> Machine<'a> {
@@ -682,7 +686,7 @@ impl<'a> Machine<'a> {
 
     /// Refresh the active convergence hasher against current memory and
     /// output and produce the boundary digest.
-    fn conv_refresh(&mut self, fi_count: u64) -> StateDigest {
+    pub(crate) fn conv_refresh(&mut self, fi_count: u64) -> StateDigest {
         let mut c = self.conv.take().expect("convergence hasher active");
         c.refresh(&self.data, &self.stack, &self.output);
         let d = c.digest(&self.regs, &self.fregs, self.flags, self.pc, fi_count);
@@ -708,7 +712,7 @@ impl<'a> Machine<'a> {
         }
     }
 
-    fn mem_read(&self, addr: u64) -> Result<u64, Trap> {
+    pub(crate) fn mem_read(&self, addr: u64) -> Result<u64, Trap> {
         if !addr.is_multiple_of(8) {
             return Err(Trap::Misaligned(addr));
         }
@@ -727,7 +731,7 @@ impl<'a> Machine<'a> {
     /// Memory write, optionally marking the written page in the active
     /// convergence hasher. `TRACK` is const so the untracked paths compile
     /// to exactly the pre-convergence store.
-    fn mem_write_t<const TRACK: bool>(&mut self, addr: u64, val: u64) -> Result<(), Trap> {
+    pub(crate) fn mem_write_t<const TRACK: bool>(&mut self, addr: u64, val: u64) -> Result<(), Trap> {
         if !addr.is_multiple_of(8) {
             return Err(Trap::Misaligned(addr));
         }
@@ -781,15 +785,15 @@ impl<'a> Machine<'a> {
         self.flags = f;
     }
 
-    fn f(&self, i: u8) -> f64 {
+    pub(crate) fn f(&self, i: u8) -> f64 {
         f64::from_bits(self.fregs[i as usize])
     }
 
-    fn set_f(&mut self, i: u8, v: f64) {
+    pub(crate) fn set_f(&mut self, i: u8, v: f64) {
         self.fregs[i as usize] = v.to_bits();
     }
 
-    fn alu(&mut self, op: AluOp, a: i64, b: i64) -> Result<i64, Trap> {
+    pub(crate) fn alu(&mut self, op: AluOp, a: i64, b: i64) -> Result<i64, Trap> {
         let (res, of) = match op {
             AluOp::Add => a.overflowing_add(b),
             AluOp::Sub => a.overflowing_sub(b),
@@ -817,27 +821,31 @@ impl<'a> Machine<'a> {
         Ok(res)
     }
 
-    fn push_t<const TRACK: bool>(&mut self, val: u64) -> Result<(), Trap> {
+    pub(crate) fn push_t<const TRACK: bool>(&mut self, val: u64) -> Result<(), Trap> {
         let sp = self.regs[SP as usize].wrapping_sub(8);
         self.regs[SP as usize] = sp;
         self.mem_write_t::<TRACK>(sp, val)
     }
 
-    fn pop(&mut self) -> Result<u64, Trap> {
+    pub(crate) fn pop(&mut self) -> Result<u64, Trap> {
         let sp = self.regs[SP as usize];
         let v = self.mem_read(sp)?;
         self.regs[SP as usize] = sp.wrapping_add(8);
         Ok(v)
     }
 
-    fn step<R: FiRuntime + ?Sized>(&mut self, instr: &MInstr, rt: &mut R) -> Result<Step, Trap> {
+    pub(crate) fn step<R: FiRuntime + ?Sized>(
+        &mut self,
+        instr: &MInstr,
+        rt: &mut R,
+    ) -> Result<Step, Trap> {
         self.step_t::<R, false>(instr, rt)
     }
 
     /// One-instruction dispatch; `TRACK` threads page write tracking to the
     /// store paths for the convergence loop (false compiles to the exact
     /// pre-existing interpreter step).
-    fn step_t<R: FiRuntime + ?Sized, const TRACK: bool>(
+    pub(crate) fn step_t<R: FiRuntime + ?Sized, const TRACK: bool>(
         &mut self,
         instr: &MInstr,
         rt: &mut R,
@@ -882,18 +890,7 @@ impl<'a> Machine<'a> {
             }
             MInstr::FCmp { fa, fb } => {
                 let (a, b) = (self.f(fa), self.f(fb));
-                let mut f = 0u8;
-                if a.is_nan() || b.is_nan() {
-                    f |= flags::UN;
-                } else {
-                    if a == b {
-                        f |= flags::ZF;
-                    }
-                    if a < b {
-                        f |= flags::LT;
-                    }
-                }
-                self.flags = f;
+                self.fcmp_flags(a, b);
             }
             MInstr::Cvt { kind, dst, src } => match kind {
                 CvtKind::SiToF => self.set_f(dst, self.regs[src as usize] as i64 as f64),
@@ -947,13 +944,17 @@ impl<'a> Machine<'a> {
             MInstr::Lea { rd, mem } => self.regs[rd as usize] = self.eff_addr(&mem),
         }
         self.pc = next;
-        if self.pc as usize > self.binary.text.len() {
+        // Unified pc-bounds rule: every control transfer *and* every
+        // fallthrough must land strictly inside `text` — `pc == text.len()`
+        // is a trap, matching `Ret`'s check (which additionally validates the
+        // full 64-bit return address before it is truncated to a pc).
+        if self.pc as usize >= self.binary.text.len() {
             return Err(Trap::BadPc(self.pc as u64));
         }
         Ok(Step::Continue)
     }
 
-    fn cmp_flags(&mut self, a: i64, b: i64) {
+    pub(crate) fn cmp_flags(&mut self, a: i64, b: i64) {
         let mut f = 0u8;
         if a == b {
             f |= flags::ZF;
@@ -963,6 +964,21 @@ impl<'a> Machine<'a> {
         }
         if a.overflowing_sub(b).1 {
             f |= flags::OF;
+        }
+        self.flags = f;
+    }
+
+    pub(crate) fn fcmp_flags(&mut self, a: f64, b: f64) {
+        let mut f = 0u8;
+        if a.is_nan() || b.is_nan() {
+            f |= flags::UN;
+        } else {
+            if a == b {
+                f |= flags::ZF;
+            }
+            if a < b {
+                f |= flags::LT;
+            }
         }
         self.flags = f;
     }
@@ -1010,7 +1026,7 @@ impl<'a> Machine<'a> {
     }
 }
 
-enum Step {
+pub(crate) enum Step {
     Continue,
     Halt(i64),
 }
@@ -1210,6 +1226,25 @@ mod tests {
             MInstr::Ret,
         ]);
         assert_eq!(run(&b).outcome, RunOutcome::Trap(Trap::BadPc(0xdead_0000)));
+    }
+
+    #[test]
+    fn ret_to_one_past_end_traps() {
+        // ra == text.len() is out of bounds: the pc rule is strict (`>=`).
+        let b = bin(vec![
+            MInstr::MovRI { rd: 1, imm: 3 },
+            MInstr::Push { rs: 1 },
+            MInstr::Ret,
+        ]);
+        assert_eq!(run(&b).outcome, RunOutcome::Trap(Trap::BadPc(3)));
+    }
+
+    #[test]
+    fn fallthrough_past_end_traps() {
+        // Falling through the last instruction lands on pc == text.len(),
+        // which traps under the same strict rule as control transfers.
+        let b = bin(vec![MInstr::MovRI { rd: 0, imm: 7 }, MInstr::Nop]);
+        assert_eq!(run(&b).outcome, RunOutcome::Trap(Trap::BadPc(2)));
     }
 
     #[test]

@@ -32,7 +32,7 @@ pub mod trace;
 
 pub use metrics::{
     registry, ArtifactCacheSnapshot, CheckpointSnapshot, ConvergenceSnapshot, MetricsSnapshot,
-    OutcomeKind,
+    OutcomeKind, SuperblockSnapshot,
 };
 pub use progress::Progress;
 pub use span::{Phase, PhaseTimer, Span};

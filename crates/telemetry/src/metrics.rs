@@ -236,6 +236,16 @@ pub struct Registry {
     pub convergence_checked_instrs: Histogram,
     /// Instructions skipped per convergence hit (golden-suffix splice).
     pub convergence_saved_instrs: Histogram,
+    /// Superblock programs built (predecode + fusion, one per prepared
+    /// artifact).
+    pub superblock_built: Counter,
+    /// Fused superblock dispatches across all trials.
+    pub superblock_dispatches: Counter,
+    /// Instructions retired through fused dispatch.
+    pub superblock_fused_instrs: Counter,
+    /// Total instructions retired under superblock loops (fused + exact
+    /// single-step fallback).
+    pub superblock_total_instrs: Counter,
 }
 
 static REGISTRY: Registry = Registry::new();
@@ -263,6 +273,10 @@ impl Registry {
             convergence_hits: Counter::new(),
             convergence_checked_instrs: Histogram::new(),
             convergence_saved_instrs: Histogram::new(),
+            superblock_built: Counter::new(),
+            superblock_dispatches: Counter::new(),
+            superblock_fused_instrs: Counter::new(),
+            superblock_total_instrs: Counter::new(),
         }
     }
 
@@ -322,6 +336,37 @@ impl Registry {
                 checked_instrs: self.convergence_checked_instrs.snapshot(),
                 saved_instrs: self.convergence_saved_instrs.snapshot(),
             },
+            superblock: SuperblockSnapshot {
+                built: self.superblock_built.get(),
+                dispatches: self.superblock_dispatches.get(),
+                fused_instrs: self.superblock_fused_instrs.get(),
+                total_instrs: self.superblock_total_instrs.get(),
+            },
+        }
+    }
+}
+
+/// Serializable superblock-engine statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SuperblockSnapshot {
+    /// Superblock programs built (one per prepared artifact).
+    pub built: u64,
+    /// Fused block dispatches across all trials.
+    pub dispatches: u64,
+    /// Instructions retired through fused dispatch.
+    pub fused_instrs: u64,
+    /// Total instructions retired under superblock loops.
+    pub total_instrs: u64,
+}
+
+impl SuperblockSnapshot {
+    /// Fraction of superblock-loop instructions retired fused (0 when the
+    /// engine never ran).
+    pub fn fused_instr_share(&self) -> f64 {
+        if self.total_instrs == 0 {
+            0.0
+        } else {
+            self.fused_instrs as f64 / self.total_instrs as f64
         }
     }
 }
@@ -403,6 +448,8 @@ pub struct MetricsSnapshot {
     pub checkpoint: CheckpointSnapshot,
     /// Golden-convergence early-exit statistics.
     pub convergence: ConvergenceSnapshot,
+    /// Superblock-engine statistics.
+    pub superblock: SuperblockSnapshot,
 }
 
 #[cfg(test)]

@@ -42,10 +42,12 @@ pub enum Phase {
     CheckpointBuild,
     /// Per-trial checkpoint lookup + machine-state restore.
     CheckpointRestore,
+    /// Superblock predecode + fusion of one prepared binary.
+    SuperblockBuild,
 }
 
 /// All phases, in display order.
-pub const PHASES: [Phase; 14] = [
+pub const PHASES: [Phase; 15] = [
     Phase::Lex,
     Phase::Parse,
     Phase::LowerIr,
@@ -60,6 +62,7 @@ pub const PHASES: [Phase; 14] = [
     Phase::PrepareArtifact,
     Phase::CheckpointBuild,
     Phase::CheckpointRestore,
+    Phase::SuperblockBuild,
 ];
 
 struct PhaseCell {
@@ -92,6 +95,7 @@ impl Phase {
             Phase::PrepareArtifact => "prepare-artifact",
             Phase::CheckpointBuild => "checkpoint-build",
             Phase::CheckpointRestore => "checkpoint-restore",
+            Phase::SuperblockBuild => "superblock-build",
         }
     }
 
